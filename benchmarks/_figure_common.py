@@ -1,0 +1,48 @@
+"""Shared implementation of the per-figure benchmarks (Figures 1-5).
+
+Each of the paper's result figures is one workload suite evaluated with all
+formats of all four bit widths; the benchmark measures the wall-clock cost of
+regenerating the figure and writes the regenerated cumulative-error report to
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from repro.arithmetic.registry import PAPER_FORMATS
+from repro.datasets import get_suite
+from repro.experiments import figure_report, run_experiment
+
+from .conftest import bench_config, bench_matrix_count, bench_size_range, write_report
+
+
+def all_paper_formats() -> list[str]:
+    return [name for width in (8, 16, 32, 64) for name in PAPER_FORMATS[width]]
+
+
+def build_suite(suite_name: str, seed: int = 0):
+    """Scaled-down workload for one figure."""
+    count = bench_matrix_count()
+    size_range = bench_size_range()
+    if suite_name == "general":
+        return get_suite("general", count=count, size_range=size_range, seed=seed)
+    suite = get_suite(suite_name, scale=1.0e-2, size_range=size_range, seed=seed)
+    return suite[:count]
+
+
+def run_figure(benchmark, suite_name: str, figure_title: str, output_name: str):
+    """Benchmark body shared by the five figure benchmarks."""
+    suite = build_suite(suite_name)
+    config = bench_config()
+    formats = all_paper_formats()
+
+    def task():
+        return run_experiment(suite, formats, config, workers=1)
+
+    result = benchmark.pedantic(task, rounds=1, iterations=1)
+    report = figure_report(result.records, widths=(8, 16, 32, 64), title=figure_title)
+    write_report(output_name, report)
+    # sanity: the evaluation must have produced at least one evaluated run in
+    # a wide format (the reference and float64 should essentially always work)
+    ok_runs = [r for r in result.records if r.status == "ok"]
+    assert ok_runs, "no evaluated runs — benchmark workload too aggressive"
+    return result

@@ -1,0 +1,13 @@
+"""Figure 1: cumulative error distributions on the general (SuiteSparse-like)
+symmetric matrices, all formats at 8/16/32/64 bits."""
+
+from ._figure_common import run_figure
+
+
+def test_fig1_general_matrices(benchmark):
+    run_figure(
+        benchmark,
+        suite_name="general",
+        figure_title="Figure 1 — general matrices (synthetic SuiteSparse-like suite)",
+        output_name="fig1_general.txt",
+    )

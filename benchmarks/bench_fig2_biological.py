@@ -1,0 +1,12 @@
+"""Figure 2: cumulative error distributions on biological graph Laplacians."""
+
+from ._figure_common import run_figure
+
+
+def test_fig2_biological_graphs(benchmark):
+    run_figure(
+        benchmark,
+        suite_name="biological",
+        figure_title="Figure 2 — biological graph Laplacians",
+        output_name="fig2_biological.txt",
+    )

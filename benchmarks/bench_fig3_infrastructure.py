@@ -1,0 +1,12 @@
+"""Figure 3: cumulative error distributions on infrastructure graph Laplacians."""
+
+from ._figure_common import run_figure
+
+
+def test_fig3_infrastructure_graphs(benchmark):
+    run_figure(
+        benchmark,
+        suite_name="infrastructure",
+        figure_title="Figure 3 — infrastructure graph Laplacians",
+        output_name="fig3_infrastructure.txt",
+    )

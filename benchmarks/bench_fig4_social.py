@@ -1,0 +1,12 @@
+"""Figure 4: cumulative error distributions on social graph Laplacians."""
+
+from ._figure_common import run_figure
+
+
+def test_fig4_social_graphs(benchmark):
+    run_figure(
+        benchmark,
+        suite_name="social",
+        figure_title="Figure 4 — social graph Laplacians",
+        output_name="fig4_social.txt",
+    )

@@ -1,0 +1,12 @@
+"""Figure 5: cumulative error distributions on miscellaneous graph Laplacians."""
+
+from ._figure_common import run_figure
+
+
+def test_fig5_miscellaneous_graphs(benchmark):
+    run_figure(
+        benchmark,
+        suite_name="miscellaneous",
+        figure_title="Figure 5 — miscellaneous graph Laplacians",
+        output_name="fig5_miscellaneous.txt",
+    )

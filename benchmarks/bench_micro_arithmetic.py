@@ -1,0 +1,48 @@
+"""Micro-benchmark: throughput of the software arithmetic emulation.
+
+Not a paper figure, but the baseline cost model of the whole study: how
+expensive one rounded elementary operation and one rounded sparse
+matrix-vector product are per format.  Useful for sizing the figure
+benchmarks and for spotting emulation regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic import get_context
+from repro.datasets import suitesparse_like
+
+FORMATS = ["float64", "bfloat16", "E4M3", "posit16", "takum16", "posit64", "takum64"]
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal(4096), rng.standard_normal(4096)
+
+
+@pytest.fixture(scope="module")
+def sparse_matrix():
+    return suitesparse_like(count=2, size_range=(180, 220), seed=1)[1].matrix
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_rounded_elementwise_multiply(benchmark, fmt, vectors):
+    ctx = get_context(fmt)
+    x, y = (ctx.asarray(v) for v in vectors)
+    benchmark(lambda: ctx.mul(x, y))
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_rounded_dot_product(benchmark, fmt, vectors):
+    ctx = get_context(fmt)
+    x, y = (ctx.asarray(v) for v in vectors)
+    benchmark(lambda: ctx.dot(x, y))
+
+
+@pytest.mark.parametrize("fmt", ["float64", "bfloat16", "posit16", "takum16"])
+def test_rounded_spmv(benchmark, fmt, sparse_matrix):
+    ctx = get_context(fmt)
+    converted, _ = ctx.convert_matrix(sparse_matrix)
+    x = ctx.asarray(np.random.default_rng(3).standard_normal(sparse_matrix.shape[1]))
+    benchmark(lambda: ctx.spmv(converted, x))

@@ -1,0 +1,54 @@
+"""Micro-benchmark: ``partialschur`` solver cost vs matrix size and format.
+
+Measures the end-to-end cost of one partial spectral decomposition (the unit
+of work behind every data point of Figures 1-5) for a representative graph
+Laplacian, across formats and Krylov dimensions.
+"""
+
+import pytest
+
+from repro.core import partialschur
+from repro.datasets import generate_graph
+from repro.experiments import tolerance_for
+from repro.sparse import laplacian_from_adjacency
+
+
+def _laplacian(n: int):
+    adjacency, _ = generate_graph("soc", index=0, size=n, seed=3)
+    return laplacian_from_adjacency(adjacency)
+
+
+@pytest.mark.parametrize("fmt", ["float64", "reference", "bfloat16", "takum16", "posit32"])
+def test_partialschur_per_format(benchmark, fmt):
+    matrix = _laplacian(48)
+    tol = 1e-18 if fmt == "reference" else tolerance_for(fmt)
+    result = benchmark.pedantic(
+        lambda: partialschur(matrix, nev=12, tol=tol, ctx=fmt, restarts=25),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.matvecs > 0
+
+
+@pytest.mark.parametrize("size", [32, 64, 96])
+def test_partialschur_scaling_with_size(benchmark, size):
+    matrix = _laplacian(size)
+    result = benchmark.pedantic(
+        lambda: partialschur(matrix, nev=12, tol=1e-4, ctx="takum16", restarts=25),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.nev > 0
+
+
+@pytest.mark.parametrize("maxdim", [16, 25, 36])
+def test_partialschur_scaling_with_krylov_dimension(benchmark, maxdim):
+    matrix = _laplacian(64)
+    result = benchmark.pedantic(
+        lambda: partialschur(
+            matrix, nev=12, tol=1e-4, ctx="bfloat16", restarts=25, maxdim=maxdim
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.nev > 0

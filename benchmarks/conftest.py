@@ -1,0 +1,57 @@
+"""Shared configuration of the benchmark harness.
+
+Every figure/table of the paper has one benchmark module.  The workloads are
+scaled-down versions of the paper's populations (synthetic stand-ins; see
+DESIGN.md) so the whole harness completes on a laptop in minutes; the scale
+is controlled by environment variables:
+
+``REPRO_BENCH_MATRICES``
+    matrices per suite (default 4),
+``REPRO_BENCH_MIN_SIZE`` / ``REPRO_BENCH_MAX_SIZE``
+    matrix order range (default 24..40),
+``REPRO_RESTARTS``
+    Krylov-Schur restart budget per solve (default 25 for benchmarks).
+
+Each benchmark writes its text report (the regenerated figure/table) to
+``benchmarks/output/`` so it can be compared against the paper.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_matrix_count(default: int = 4) -> int:
+    return int(os.environ.get("REPRO_BENCH_MATRICES", default))
+
+
+def bench_size_range() -> tuple[int, int]:
+    lo = int(os.environ.get("REPRO_BENCH_MIN_SIZE", 24))
+    hi = int(os.environ.get("REPRO_BENCH_MAX_SIZE", 40))
+    return lo, hi
+
+
+def bench_config(**overrides) -> ExperimentConfig:
+    cfg = ExperimentConfig(**overrides)
+    cfg.restarts = int(os.environ.get("REPRO_RESTARTS", 25))
+    return cfg
+
+
+def write_report(name: str, text: str) -> pathlib.Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def report_writer():
+    """Fixture handing benchmarks the report writer."""
+    return write_report

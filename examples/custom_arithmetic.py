@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Using the arithmetic layer directly: rounding, encoding and custom kernels.
+
+The number formats are useful on their own, outside the Arnoldi experiments:
+this example shows bit-level encode/decode, per-operation rounded kernels and
+how precision tapers across the dynamic range for posits and takums — the
+mechanism behind the accuracy differences the paper reports.
+
+Run with::
+
+    python examples/custom_arithmetic.py
+"""
+
+import numpy as np
+
+from repro import get_context, get_format
+
+
+def show_encoding() -> None:
+    print("bit-level encodings of pi:")
+    for name in ("float16", "bfloat16", "E4M3", "E5M2", "posit16", "takum16"):
+        fmt = get_format(name)
+        rounded = fmt.round_scalar(np.pi)
+        code = int(fmt.encode(np.array([np.pi]))[0])
+        err = abs(rounded - np.pi) / np.pi
+        print(f"  {name:9s} code=0x{code:0{fmt.bits // 4}X}  value={rounded!r:22}  rel err={err:.2e}")
+
+
+def show_tapered_precision() -> None:
+    print("\nrelative rounding error of x = 1.000001 * 2^k (precision tapering):")
+    ks = [0, 8, 32, 64, 100]
+    header = "  k:      " + "".join(f"{k:>12d}" for k in ks)
+    print(header)
+    for name in ("float32", "posit32", "takum32"):
+        fmt = get_format(name)
+        errs = []
+        for k in ks:
+            x = np.ldexp(1.000001, k)
+            r = fmt.round_scalar(x)
+            errs.append(abs(r - x) / x if np.isfinite(r) else float("inf"))
+        print(f"  {name:8s}" + "".join(f"{e:12.1e}" for e in errs))
+
+
+def show_rounded_kernels() -> None:
+    print("\na dot product accumulated in different arithmetics:")
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(4096)
+    y = rng.standard_normal(4096)
+    exact = float(np.dot(x, y))
+    for name in ("float64", "float32", "bfloat16", "posit16", "takum16", "E5M2"):
+        ctx = get_context(name)
+        xs, ys = ctx.asarray(x), ctx.asarray(y)
+        pairwise = float(ctx.dot(xs, ys))
+        ctx_seq = get_context(name, accumulation="sequential")
+        sequential = float(ctx_seq.dot(xs, ys))
+        print(
+            f"  {name:9s} pairwise={pairwise:+.6f}  sequential={sequential:+.6f}  "
+            f"exact={exact:+.6f}"
+        )
+
+
+if __name__ == "__main__":
+    show_encoding()
+    show_tapered_precision()
+    show_rounded_kernels()

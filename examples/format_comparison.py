@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Mini reproduction of one figure: cumulative error distributions per format.
+
+This example runs the full experiment harness on a scaled-down version of the
+paper's "general matrices" workload (Figure 1) for the 16-bit formats and
+prints the cumulative error distributions as an ASCII plot plus a percentile
+table — the same artefacts the benchmark harness produces for all figures.
+
+Run with::
+
+    python examples/format_comparison.py [n_matrices]
+"""
+
+import sys
+
+from repro.arithmetic.registry import PAPER_FORMATS
+from repro.datasets import suitesparse_like
+from repro.experiments import ExperimentConfig, figure_report, run_experiment
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    suite = suitesparse_like(count=count, size_range=(28, 48), seed=0)
+    config = ExperimentConfig(restarts=25)
+    formats = list(PAPER_FORMATS[16])
+
+    print(f"running {len(suite)} general matrices x {len(formats)} formats ...\n")
+    result = run_experiment(suite, formats, config, workers=1)
+    print(
+        figure_report(
+            result.records,
+            widths=(16,),
+            title="Figure 1(b) — general matrices, 16-bit formats (scaled down)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

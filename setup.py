@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that legacy (non-PEP-517) editable installs — ``pip install -e .
+--no-use-pep517`` — work in offline environments that lack the ``wheel``
+package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Machine-number formats and per-operation rounding compute contexts.
+
+This subpackage provides software emulation of the arithmetic formats studied
+in the paper:
+
+* IEEE 754 style formats: ``float16``, ``bfloat16``, ``float32``, ``float64``
+  and the OFP8 types ``E4M3`` and ``E5M2``;
+* tapered-precision formats: posits (2022 standard, ``es = 2``) and linear
+  takums at 8, 16, 32 and 64 bits;
+* an extended-precision reference format backed by ``numpy.longdouble``.
+
+Every format exposes a vectorised ``round`` operation (round an array of
+work-precision values to the nearest representable value of the format) which
+is the primitive used by the compute contexts in
+:mod:`repro.arithmetic.context` to emulate "every scalar operation is
+performed in the target arithmetic".
+"""
+
+from .base import NumberFormat, RoundingInfo
+from .ieee import IEEEFormat, BFLOAT16, FLOAT16, FLOAT32, FLOAT64
+from .ofp8 import OFP8E4M3, OFP8E5M2, E4M3, E5M2
+from .posit import PositFormat, POSIT8, POSIT16, POSIT32, POSIT64
+from .takum import TakumFormat, TAKUM8, TAKUM16, TAKUM32, TAKUM64
+from .registry import (
+    FORMATS,
+    get_format,
+    available_formats,
+    formats_by_width,
+)
+from .context import (
+    ComputeContext,
+    EmulatedContext,
+    NativeContext,
+    ReferenceContext,
+    get_context,
+    DynamicRangeError,
+)
+
+__all__ = [
+    "NumberFormat",
+    "RoundingInfo",
+    "IEEEFormat",
+    "BFLOAT16",
+    "FLOAT16",
+    "FLOAT32",
+    "FLOAT64",
+    "OFP8E4M3",
+    "OFP8E5M2",
+    "E4M3",
+    "E5M2",
+    "PositFormat",
+    "POSIT8",
+    "POSIT16",
+    "POSIT32",
+    "POSIT64",
+    "TakumFormat",
+    "TAKUM8",
+    "TAKUM16",
+    "TAKUM32",
+    "TAKUM64",
+    "FORMATS",
+    "get_format",
+    "available_formats",
+    "formats_by_width",
+    "ComputeContext",
+    "EmulatedContext",
+    "NativeContext",
+    "ReferenceContext",
+    "get_context",
+    "DynamicRangeError",
+]

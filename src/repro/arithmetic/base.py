@@ -1,0 +1,225 @@
+"""Abstract base class and shared helpers for machine-number formats.
+
+A :class:`NumberFormat` describes a finite set of representable real values
+(plus special values such as NaN/NaR and, for IEEE-style formats, signed
+infinities).  The formats operate in *value space*: arrays hold work-precision
+floating-point numbers (``float64`` or ``numpy.longdouble``) whose values are
+exactly representable in the emulated format.  Rounding an arbitrary
+work-precision array onto that set is the performance-critical primitive
+(:meth:`NumberFormat.round_array`); bit-level encode/decode is provided for
+storage, interchange and testing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["NumberFormat", "RoundingInfo", "round_to_quantum", "nearest_in_table"]
+
+
+@dataclasses.dataclass
+class RoundingInfo:
+    """Diagnostics of a conversion into a target format.
+
+    Attributes
+    ----------
+    overflowed:
+        Number of finite non-zero inputs that became non-finite (infinity or
+        NaN) because the magnitude exceeded the format's dynamic range.
+    underflowed:
+        Number of finite non-zero inputs that were flushed to zero because the
+        magnitude fell below the smallest representable positive value.
+    saturated:
+        Number of finite non-zero inputs clamped to the largest/smallest
+        representable magnitude (tapered formats saturate instead of
+        overflowing).
+    """
+
+    overflowed: int = 0
+    underflowed: int = 0
+    saturated: int = 0
+
+    @property
+    def range_exceeded(self) -> bool:
+        """True when the input's dynamic range did not fit the format."""
+        return self.overflowed > 0 or self.underflowed > 0
+
+
+def round_to_quantum(x: np.ndarray, quantum: np.ndarray) -> np.ndarray:
+    """Round ``x`` to the nearest integer multiple of ``quantum``.
+
+    ``quantum`` must consist of powers of two so that the division and
+    multiplication are exact; ties are resolved towards the even multiple
+    (``numpy.rint`` semantics), which coincides with round-half-to-even on the
+    retained significand bit.
+    """
+    return np.rint(x / quantum) * quantum
+
+
+def nearest_in_table(
+    a: np.ndarray,
+    magnitudes: np.ndarray,
+    codes: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Round non-negative values ``a`` to the nearest entry of ``magnitudes``.
+
+    Parameters
+    ----------
+    a:
+        Non-negative finite values (any float dtype).
+    magnitudes:
+        Sorted (ascending) array of representable non-negative magnitudes.
+    codes:
+        Optional array of integer codes parallel to ``magnitudes``; when
+        given, exact ties between two neighbouring magnitudes are resolved
+        towards the entry with an even code (ties-to-even encoding), otherwise
+        ties resolve towards the smaller magnitude.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of indices into ``magnitudes``.
+    """
+    a = np.asarray(a)
+    hi = np.searchsorted(magnitudes, a, side="left")
+    hi = np.clip(hi, 0, len(magnitudes) - 1)
+    lo = np.clip(hi - 1, 0, len(magnitudes) - 1)
+    d_hi = np.abs(magnitudes[hi] - a)
+    d_lo = np.abs(a - magnitudes[lo])
+    take_lo = d_lo < d_hi
+    tie = d_lo == d_hi
+    if codes is not None:
+        lo_even = (codes[lo] % 2) == 0
+        take_lo = take_lo | (tie & lo_even)
+    else:
+        take_lo = take_lo | tie
+    return np.where(take_lo, lo, hi)
+
+
+class NumberFormat(ABC):
+    """A machine-number format emulated in software.
+
+    Subclasses must provide bit-level ``decode_code``/representable-value
+    enumeration and a vectorised :meth:`round_array`.  All formats share the
+    conventions:
+
+    * NaN in value space represents the format's NaN/NaR,
+    * ``numpy.inf`` is only produced by formats that have infinities,
+    * rounding is round-to-nearest with ties to the even code.
+    """
+
+    #: short identifier, e.g. ``"posit16"``
+    name: str = "abstract"
+    #: storage width in bits
+    bits: int = 0
+    #: work dtype used in value space (float64 or longdouble)
+    work_dtype: type = np.float64
+    #: whether the format has signed infinities
+    has_infinity: bool = False
+    #: whether out-of-range magnitudes saturate (tapered formats) instead of
+    #: overflowing to infinity/NaN
+    saturating: bool = False
+
+    # ------------------------------------------------------------------ #
+    # bit-level interface
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def decode_code(self, code: int) -> float:
+        """Decode a single integer code into its work-precision value.
+
+        NaN/NaR codes decode to ``nan``; infinity codes (if any) to ``inf``.
+        """
+
+    def decode(self, codes) -> np.ndarray:
+        """Vectorised decode of an array of integer codes."""
+        codes = np.asarray(codes, dtype=np.uint64)
+        out = np.empty(codes.shape, dtype=self.work_dtype)
+        flat = codes.ravel()
+        res = out.ravel()
+        for i in range(flat.size):
+            res[i] = self.decode_code(int(flat[i]))
+        return out
+
+    @abstractmethod
+    def encode(self, values) -> np.ndarray:
+        """Encode work-precision values into integer codes (nearest)."""
+
+    # ------------------------------------------------------------------ #
+    # value-space interface
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def round_array(self, values) -> np.ndarray:
+        """Round an array of work-precision values to the nearest
+        representable values of this format (returned in work precision)."""
+
+    def round_scalar(self, value: float) -> float:
+        """Round a single scalar; convenience wrapper over
+        :meth:`round_array`."""
+        return float(self.round_array(np.asarray([value], dtype=self.work_dtype))[0])
+
+    def convert(self, values) -> tuple[np.ndarray, RoundingInfo]:
+        """Convert ``values`` into the format, reporting range diagnostics.
+
+        Used when casting an input matrix into the target arithmetic; the
+        returned :class:`RoundingInfo` feeds the ∞σ ("dynamic range of matrix
+        entries exceeded") failure flag of the experiments.
+        """
+        values = np.asarray(values, dtype=self.work_dtype)
+        rounded = self.round_array(values)
+        finite_nonzero = np.isfinite(values) & (values != 0)
+        overflowed = int(np.count_nonzero(finite_nonzero & ~np.isfinite(rounded)))
+        underflowed = int(np.count_nonzero(finite_nonzero & (rounded == 0)))
+        saturated = 0
+        if self.saturating:
+            max_mag = self.max_value
+            min_mag = self.min_positive
+            saturated_high = np.count_nonzero(
+                finite_nonzero & (np.abs(rounded) == max_mag) & (np.abs(values) > max_mag)
+            )
+            saturated_low = np.count_nonzero(
+                finite_nonzero & (np.abs(rounded) == min_mag) & (np.abs(values) < min_mag)
+            )
+            saturated = int(saturated_high + saturated_low)
+        return rounded, RoundingInfo(overflowed, underflowed, saturated)
+
+    # ------------------------------------------------------------------ #
+    # metadata
+    # ------------------------------------------------------------------ #
+    @property
+    @abstractmethod
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+
+    @property
+    @abstractmethod
+    def min_positive(self) -> float:
+        """Smallest positive representable magnitude."""
+
+    @property
+    def machine_epsilon(self) -> float:
+        """Distance between 1 and the next representable value above 1."""
+        one = np.asarray([1.0], dtype=self.work_dtype)
+        nxt = self.round_array(one * (1.0 + 2.0 ** (-self.bits)))
+        if float(nxt[0]) > 1.0:
+            return float(nxt[0]) - 1.0
+        # search upward in coarse steps until a representable value above one
+        # is found (always terminates: 2.0 is representable in every format)
+        step = 2.0 ** (-self.bits)
+        while True:
+            step *= 2.0
+            cand = self.round_array(np.asarray([1.0 + step], dtype=self.work_dtype))
+            if float(cand[0]) > 1.0:
+                return float(cand[0]) - 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} {self.name!r} ({self.bits} bits)>"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, NumberFormat) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)

@@ -1,0 +1,387 @@
+"""Compute contexts: every elementary operation rounds to a target format.
+
+The numerical experiments of the paper run a *type-generic* Arnoldi
+implementation where each scalar operation (add, multiply, divide, square
+root, ...) is performed in the arithmetic under evaluation.  In this library
+the same effect is achieved with a :class:`ComputeContext`:
+
+* a :class:`NativeContext` uses a hardware dtype (``float32``, ``float64`` or
+  ``numpy.longdouble`` for the extended-precision reference) directly;
+* an :class:`EmulatedContext` stores values in a work dtype but rounds the
+  result of every elementary operation to the nearest value of a
+  :class:`~repro.arithmetic.base.NumberFormat` (bfloat16, OFP8, posit, takum,
+  ...).
+
+Vector and matrix kernels (dot products, dense and sparse matrix-vector
+products) are built from the rounded elementary operations.  Accumulations
+use a pairwise (tree) reduction by default — each partial sum is rounded — so
+the whole kernel is expressible with a logarithmic number of vectorised
+passes; a strictly sequential accumulation order is available for the
+accumulation-order ablation study.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from .base import NumberFormat, RoundingInfo
+from .registry import get_format
+
+__all__ = [
+    "ComputeContext",
+    "NativeContext",
+    "EmulatedContext",
+    "ReferenceContext",
+    "get_context",
+    "DynamicRangeError",
+]
+
+
+class DynamicRangeError(ValueError):
+    """Raised when the dynamic range of input data exceeds a number format.
+
+    This corresponds to the ∞σ failure marker of the paper: the input matrix
+    cannot even be represented in the target arithmetic (entries overflow to
+    infinity/NaN or flush to zero).
+    """
+
+    def __init__(self, message: str, info: Optional[RoundingInfo] = None):
+        super().__init__(message)
+        self.info = info
+
+
+class ComputeContext(ABC):
+    """Interface of a rounding arithmetic used by the solvers.
+
+    All kernels operate on NumPy arrays whose dtype is :attr:`dtype` and whose
+    values are exactly representable in the context's arithmetic.  Methods
+    never modify their inputs.
+    """
+
+    #: identifier (format name or dtype name)
+    name: str = "abstract"
+    #: NumPy dtype used for storage in value space
+    dtype: type = np.float64
+    #: bit width of the emulated arithmetic
+    bits: int = 64
+    #: accumulation strategy: "pairwise" or "sequential"
+    accumulation: str = "pairwise"
+
+    def __init__(self, accumulation: str = "pairwise", count_ops: bool = True):
+        if accumulation not in ("pairwise", "sequential"):
+            raise ValueError("accumulation must be 'pairwise' or 'sequential'")
+        self.accumulation = accumulation
+        self.count_ops = count_ops
+        self.op_count: int = 0
+
+    # ------------------------------------------------------------------ #
+    # primitives
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def round(self, values) -> np.ndarray:
+        """Round work-precision values to the context's arithmetic."""
+
+    def asarray(self, values) -> np.ndarray:
+        """Convert arbitrary data into the context (rounding each entry)."""
+        return self.round(np.asarray(values, dtype=self.dtype))
+
+    def zeros(self, shape) -> np.ndarray:
+        return np.zeros(shape, dtype=self.dtype)
+
+    def _tally(self, n: int) -> None:
+        if self.count_ops:
+            self.op_count += int(n)
+
+    # ------------------------------------------------------------------ #
+    # elementwise operations (each result is rounded once)
+    # ------------------------------------------------------------------ #
+    def add(self, a, b):
+        self._tally(np.broadcast(a, b).size)
+        return self.round(np.add(a, b, dtype=self.dtype))
+
+    def sub(self, a, b):
+        self._tally(np.broadcast(a, b).size)
+        return self.round(np.subtract(a, b, dtype=self.dtype))
+
+    def mul(self, a, b):
+        self._tally(np.broadcast(a, b).size)
+        return self.round(np.multiply(a, b, dtype=self.dtype))
+
+    def div(self, a, b):
+        self._tally(np.broadcast(a, b).size)
+        return self.round(np.divide(a, b, dtype=self.dtype))
+
+    def sqrt(self, a):
+        self._tally(np.size(a))
+        return self.round(np.sqrt(np.asarray(a, dtype=self.dtype)))
+
+    def neg(self, a):
+        # sign flips are exact in every supported format
+        return np.negative(np.asarray(a, dtype=self.dtype))
+
+    def abs(self, a):
+        # magnitude is representable whenever the value is
+        return np.abs(np.asarray(a, dtype=self.dtype))
+
+    def hypot(self, a, b):
+        """sqrt(a^2 + b^2) composed from rounded elementary operations."""
+        return self.sqrt(self.add(self.mul(a, a), self.mul(b, b)))
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def reduce_sum(self, values: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Sum along ``axis`` with per-addition rounding.
+
+        The pairwise strategy reduces adjacent pairs level by level (a
+        balanced tree, matching Julia's pairwise summation); the sequential
+        strategy accumulates left to right.
+        """
+        v = np.asarray(values, dtype=self.dtype)
+        v = np.moveaxis(v, axis, -1)
+        if v.shape[-1] == 0:
+            return np.zeros(v.shape[:-1], dtype=self.dtype)
+        if self.accumulation == "pairwise":
+            while v.shape[-1] > 1:
+                m = v.shape[-1]
+                half = m // 2
+                paired = self.add(v[..., 0 : 2 * half : 2], v[..., 1 : 2 * half : 2])
+                if m % 2:
+                    paired = np.concatenate([paired, v[..., -1:]], axis=-1)
+                v = paired
+            return v[..., 0]
+        acc = v[..., 0]
+        for j in range(1, v.shape[-1]):
+            acc = self.add(acc, v[..., j])
+        return acc
+
+    def dot(self, x, y):
+        """Inner product with rounded products and rounded accumulation."""
+        return self.reduce_sum(self.mul(x, y))
+
+    def norm2(self, x):
+        """Euclidean norm built from rounded operations.
+
+        The computation is scaled by the largest entry magnitude (as Julia's
+        generic ``norm`` and LAPACK's ``dnrm2`` do) so that the norm of a
+        representable vector does not spuriously overflow or underflow in
+        narrow formats whose squares would leave the dynamic range.
+        """
+        x = np.asarray(x, dtype=self.dtype)
+        if x.size == 0:
+            return self.dtype(0.0)
+        scale = np.max(np.abs(x))
+        if not np.isfinite(scale):
+            return self.dtype(np.nan) if np.isnan(scale) else self.dtype(np.inf)
+        if float(scale) == 0.0:
+            return self.dtype(0.0)
+        xs = self.div(x, scale)
+        return self.mul(scale, self.sqrt(self.dot(xs, xs)))
+
+    def norm2_naive(self, x):
+        """Unscaled Euclidean norm ``sqrt(dot(x, x))`` (ablation variant)."""
+        return self.sqrt(self.dot(x, x))
+
+    def axpy(self, alpha, x, y):
+        """``y + alpha * x`` with per-operation rounding."""
+        return self.add(y, self.mul(alpha, x))
+
+    def scale(self, alpha, x):
+        """``alpha * x`` elementwise."""
+        return self.mul(alpha, x)
+
+    # ------------------------------------------------------------------ #
+    # dense kernels
+    # ------------------------------------------------------------------ #
+    def gemv(self, M, x):
+        """Dense matrix-vector product ``M @ x`` (rows reduced independently)."""
+        M = np.asarray(M, dtype=self.dtype)
+        x = np.asarray(x, dtype=self.dtype)
+        if M.shape[1] == 0:
+            return np.zeros(M.shape[0], dtype=self.dtype)
+        prods = self.mul(M, x[np.newaxis, :])
+        return self.reduce_sum(prods, axis=-1)
+
+    def gemv_t(self, M, x):
+        """Dense transposed matrix-vector product ``M.T @ x``."""
+        M = np.asarray(M, dtype=self.dtype)
+        x = np.asarray(x, dtype=self.dtype)
+        if M.shape[0] == 0:
+            return np.zeros(M.shape[1], dtype=self.dtype)
+        prods = self.mul(M.T, x[np.newaxis, :])
+        return self.reduce_sum(prods, axis=-1)
+
+    def gemm(self, A, B):
+        """Dense matrix-matrix product with per-operation rounding.
+
+        Intended for the small projected problems of the Krylov-Schur
+        iteration (dimensions of a few dozen).
+        """
+        A = np.asarray(A, dtype=self.dtype)
+        B = np.asarray(B, dtype=self.dtype)
+        if A.shape[1] != B.shape[0]:
+            raise ValueError("gemm dimension mismatch")
+        if A.shape[1] == 0:
+            return np.zeros((A.shape[0], B.shape[1]), dtype=self.dtype)
+        prods = self.mul(A[:, :, np.newaxis], B[np.newaxis, :, :])
+        return self.reduce_sum(prods, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # sparse kernel
+    # ------------------------------------------------------------------ #
+    def spmv(self, matrix, x):
+        """Sparse CSR matrix-vector product with per-operation rounding.
+
+        ``matrix`` must expose ``data``, ``indices``, ``indptr`` and ``shape``
+        (the CSR substrate of :mod:`repro.sparse`), with ``data`` already
+        converted into the context.
+        """
+        x = np.asarray(x, dtype=self.dtype)
+        nrows = matrix.shape[0]
+        data = np.asarray(matrix.data, dtype=self.dtype)
+        if data.size == 0:
+            return np.zeros(nrows, dtype=self.dtype)
+        prods = self.mul(data, x[matrix.indices])
+        return self._segmented_reduce(prods, matrix.indptr, nrows)
+
+    def _segmented_reduce(self, vals, indptr, nrows) -> np.ndarray:
+        counts = np.diff(indptr).astype(np.int64)
+        out = np.zeros(nrows, dtype=self.dtype)
+        if vals.size == 0:
+            return out
+        if self.accumulation == "sequential":
+            starts = np.asarray(indptr[:-1], dtype=np.int64)
+            acc_rows = np.nonzero(counts > 0)[0]
+            out[acc_rows] = vals[starts[acc_rows]]
+            k = 1
+            while True:
+                rows = np.nonzero(counts > k)[0]
+                if rows.size == 0:
+                    break
+                out[rows] = self.add(out[rows], vals[starts[rows] + k])
+                k += 1
+            return out
+        # pairwise segmented reduction
+        vals = np.array(vals, dtype=self.dtype, copy=True)
+        counts = counts.copy()
+        while counts.max(initial=0) > 1:
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            rowid = np.repeat(np.arange(nrows), counts)
+            local = np.arange(vals.size) - starts[rowid]
+            count_per_elem = counts[rowid]
+            is_left = (local % 2 == 0) & (local + 1 < count_per_elem)
+            is_single = (local % 2 == 0) & (local + 1 >= count_per_elem)
+            keep = is_left | is_single
+            left_idx = np.nonzero(is_left)[0]
+            merged = self.add(vals[left_idx], vals[left_idx + 1])
+            new_vals = vals[keep].copy()
+            positions = np.cumsum(keep)[left_idx] - 1
+            new_vals[positions] = merged
+            vals = new_vals
+            counts = (counts + 1) // 2
+        nonempty = np.nonzero(counts == 1)[0]
+        out[nonempty] = vals
+        return out
+
+    # ------------------------------------------------------------------ #
+    # conversion of input data
+    # ------------------------------------------------------------------ #
+    def convert_matrix(self, matrix):
+        """Convert a CSR matrix into the context.
+
+        Returns the converted matrix together with a
+        :class:`~repro.arithmetic.base.RoundingInfo` describing overflow /
+        underflow of the entries (the paper's ∞σ condition).
+        """
+        data, info = self.convert_values(np.asarray(matrix.data))
+        return matrix.with_data(data), info
+
+    def convert_values(self, values) -> tuple[np.ndarray, RoundingInfo]:
+        """Convert raw values into the context, reporting range diagnostics."""
+        values = np.asarray(values, dtype=self.dtype)
+        rounded = self.round(values)
+        finite_nonzero = np.isfinite(values) & (values != 0)
+        overflowed = int(np.count_nonzero(finite_nonzero & ~np.isfinite(rounded)))
+        underflowed = int(np.count_nonzero(finite_nonzero & (rounded == 0)))
+        return rounded, RoundingInfo(overflowed, underflowed, 0)
+
+    # ------------------------------------------------------------------ #
+    # numerical metadata
+    # ------------------------------------------------------------------ #
+    @property
+    @abstractmethod
+    def machine_epsilon(self) -> float:
+        """Unit roundoff scale of the arithmetic (spacing above 1.0)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class NativeContext(ComputeContext):
+    """Context backed directly by a hardware floating-point dtype."""
+
+    def __init__(self, dtype, name: Optional[str] = None, **kwargs):
+        super().__init__(**kwargs)
+        self.dtype = np.dtype(dtype).type
+        self.name = name or np.dtype(dtype).name
+        self.bits = np.dtype(dtype).itemsize * 8
+
+    def round(self, values) -> np.ndarray:
+        return np.asarray(values, dtype=self.dtype)
+
+    @property
+    def machine_epsilon(self) -> float:
+        return float(np.finfo(self.dtype).eps)
+
+
+class ReferenceContext(NativeContext):
+    """Extended-precision reference context.
+
+    The paper computes reference solutions in ``float128``; this environment
+    substitutes ``numpy.longdouble`` (80-bit extended precision on x86, 64-bit
+    significand), which retains a comfortable accuracy margin over the widest
+    formats under test.  See DESIGN.md, substitution 3.
+    """
+
+    def __init__(self, **kwargs):
+        super().__init__(np.longdouble, name="reference", **kwargs)
+
+
+class EmulatedContext(ComputeContext):
+    """Context that rounds every elementary result to a software format."""
+
+    def __init__(self, fmt: NumberFormat | str, **kwargs):
+        super().__init__(**kwargs)
+        if isinstance(fmt, str):
+            fmt = get_format(fmt)
+        self.format = fmt
+        self.dtype = fmt.work_dtype
+        self.name = fmt.name
+        self.bits = fmt.bits
+
+    def round(self, values) -> np.ndarray:
+        return self.format.round_array(np.asarray(values, dtype=self.dtype))
+
+    @property
+    def machine_epsilon(self) -> float:
+        return float(self.format.machine_epsilon)
+
+
+def get_context(name: str, **kwargs) -> ComputeContext:
+    """Build the compute context for a format name.
+
+    ``float32`` and ``float64`` use hardware arithmetic; ``reference`` (also
+    accepted as ``float128`` or ``longdouble``) uses the extended-precision
+    reference; every other registered format is emulated.
+    """
+    lowered = name.lower()
+    if lowered in ("reference", "float128", "longdouble"):
+        return ReferenceContext(**kwargs)
+    if lowered == "float64":
+        return NativeContext(np.float64, name="float64", **kwargs)
+    if lowered == "float32":
+        return NativeContext(np.float32, name="float32", **kwargs)
+    return EmulatedContext(get_format(name), **kwargs)

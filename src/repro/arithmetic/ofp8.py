@@ -1,0 +1,130 @@
+"""OFP8 8-bit floating-point formats (OCP 8-bit Floating Point Specification).
+
+Two formats are defined by the specification:
+
+* ``E5M2`` (1-5-2) follows IEEE-754 special-value conventions (signed
+  infinities, NaNs with non-zero mantissa in the top exponent) and is simply
+  an :class:`~repro.arithmetic.ieee.IEEEFormat` instance.
+* ``E4M3`` (1-4-3) trades the infinities for one extra binade: the top
+  exponent field still encodes normal numbers except for the all-ones
+  mantissa, which is the (only) NaN.  The largest finite value is 448.
+
+E4M3 overflow behaviour is configurable: the specification's default
+(non-saturating) mode maps overflows to NaN, the saturating mode clamps to
+±448.  The experiments use the NaN mode by default; the saturation ablation
+benchmark exercises the alternative.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import NumberFormat, nearest_in_table
+from .ieee import IEEEFormat
+
+__all__ = ["OFP8E4M3", "OFP8E5M2", "E4M3", "E5M2"]
+
+
+class OFP8E4M3(NumberFormat):
+    """OFP8 E4M3: 4 exponent bits, 3 mantissa bits, bias 7, no infinities."""
+
+    bits = 8
+    has_infinity = False
+    work_dtype = np.float64
+
+    #: magnitude beyond which round-to-nearest can no longer return 448
+    _overflow_threshold = 464.0
+
+    def __init__(self, saturate: bool = False, name: str | None = None):
+        self.saturate = bool(saturate)
+        self.name = name or ("E4M3sat" if saturate else "E4M3")
+        self.bias = 7
+        self._build_table()
+
+    def _build_table(self) -> None:
+        mags = []
+        codes = []
+        for code in range(128):  # non-negative codes
+            v = self.decode_code(code)
+            if math.isnan(v):
+                continue
+            mags.append(v)
+            codes.append(code)
+        order = np.argsort(np.asarray(mags))
+        self._magnitudes = np.asarray(mags, dtype=np.float64)[order]
+        self._codes = np.asarray(codes, dtype=np.int64)[order]
+
+    # ------------------------------------------------------------------ #
+    def decode_code(self, code: int) -> float:
+        code = int(code) & 0xFF
+        sign = -1.0 if code & 0x80 else 1.0
+        exp_field = (code >> 3) & 0xF
+        mant = code & 0x7
+        if exp_field == 0xF and mant == 0x7:
+            return math.nan
+        if exp_field == 0:
+            return sign * math.ldexp(mant, -6 - 3)
+        return sign * math.ldexp(8 + mant, exp_field - self.bias - 3)
+
+    def encode(self, values) -> np.ndarray:
+        values = np.asarray(values, dtype=self.work_dtype)
+        rounded = self.round_array(values)
+        out = np.zeros(values.shape, dtype=np.uint64)
+        flat = rounded.ravel()
+        res = out.ravel()
+        for i in range(flat.size):
+            v = float(flat[i])
+            if math.isnan(v):
+                res[i] = 0x7F
+                continue
+            idx = int(np.searchsorted(self._magnitudes, abs(v)))
+            idx = min(idx, len(self._magnitudes) - 1)
+            code = int(self._codes[idx])
+            if math.copysign(1.0, v) < 0 and v != 0.0:
+                code |= 0x80
+            res[i] = code
+        return out
+
+    def round_array(self, values) -> np.ndarray:
+        x = np.asarray(values, dtype=self.work_dtype)
+        out = np.empty(x.shape, dtype=self.work_dtype)
+        nan_mask = np.isnan(x)
+        a = np.abs(np.where(nan_mask, 0.0, x))
+        idx = nearest_in_table(
+            np.where(np.isfinite(a), a, self.max_value), self._magnitudes, self._codes
+        )
+        mags = self._magnitudes[idx]
+        over = a > self._overflow_threshold
+        if self.saturate:
+            mags = np.where(over, self.max_value, mags)
+        else:
+            mags = np.where(over, np.nan, mags)
+        out[...] = np.copysign(mags, np.where(nan_mask, 1.0, x))
+        out[nan_mask] = np.nan
+        return out
+
+    @property
+    def max_value(self) -> float:
+        return 448.0
+
+    @property
+    def min_positive(self) -> float:
+        return math.ldexp(1.0, -9)
+
+    @property
+    def machine_epsilon(self) -> float:
+        return 0.125
+
+
+class OFP8E5M2(IEEEFormat):
+    """OFP8 E5M2: IEEE-style 1-5-2 format with infinities and NaNs."""
+
+    def __init__(self):
+        super().__init__(5, 2, "E5M2")
+
+
+#: module-level singletons used by the registry
+E4M3 = OFP8E4M3()
+E5M2 = OFP8E5M2()

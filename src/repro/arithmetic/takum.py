@@ -1,0 +1,243 @@
+"""Takum arithmetic (linear takums, Hunhold 2024).
+
+An ``n``-bit takum is the bit string ``S D R C M`` with a sign bit ``S``, a
+direction bit ``D``, a 3-bit regime ``R``, an ``r``-bit characteristic ``C``
+and a ``p = n - 5 - r``-bit mantissa ``M`` where::
+
+    r = R            if D = 1 else 7 - R
+    c = 2^r - 1 + C  if D = 1 else -2^(r+1) + 1 + C
+    m = M / 2^p
+    l = (-1)^S (c + m)
+
+The *linear* takum value is ``(-1)^S * 2^floor(l) * (1 + (l - floor(l)))``;
+``0...0`` encodes zero and ``10...0`` encodes NaR.  The characteristic spans
+[-255, 254], giving a dynamic range of roughly 10^±76 regardless of width,
+while the mantissa length adapts to the magnitude (tapered precision).
+Formats narrower than 12 bits decode by implicitly zero-padding the tail.
+
+Takum rounding follows posit conventions: round to nearest (ties to even
+code), never round a non-zero value to zero or NaR, saturate at the largest /
+smallest representable magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import NumberFormat, nearest_in_table, round_to_quantum
+
+__all__ = ["TakumFormat", "TAKUM8", "TAKUM16", "TAKUM32", "TAKUM64"]
+
+#: characteristic range shared by all takum widths
+_C_MIN = -255
+_C_MAX = 254
+
+
+class TakumFormat(NumberFormat):
+    """Linear takum format of width ``nbits``."""
+
+    saturating = True
+    has_infinity = False
+
+    def __init__(self, nbits: int, name: str | None = None):
+        if nbits < 6:
+            raise ValueError("takum width must be at least 6 bits")
+        self.bits = int(nbits)
+        self.name = name or f"takum{nbits}"
+        # near 1.0 a takum has up to n - 5 mantissa bits, which exceeds the
+        # 52-bit float64 significand for the 64-bit format
+        self.work_dtype = np.float64 if nbits <= 32 else np.longdouble
+        self._full_table = self.bits <= 16
+        self._magnitudes: np.ndarray | None = None
+        self._codes: np.ndarray | None = None
+        self._max_value = self._decode_magnitude_of_code((1 << (self.bits - 1)) - 1)
+        self._min_positive = self._decode_magnitude_of_code(1)
+
+    def _decode_magnitude_of_code(self, code: int):
+        return abs(self.decode_code(code))
+
+    # ------------------------------------------------------------------ #
+    # bit-level
+    # ------------------------------------------------------------------ #
+    def decode_code(self, code: int):
+        n = self.bits
+        code = int(code) & ((1 << n) - 1)
+        if code == 0:
+            return self.work_dtype(0.0)
+        if code == 1 << (n - 1):
+            return self.work_dtype(np.nan)
+        sign = (code >> (n - 1)) & 1
+        direction = (code >> (n - 2)) & 1
+        regime = (code >> (n - 5)) & 0x7
+        r = regime if direction else 7 - regime
+        tail_bits = n - 5
+        tail = code & ((1 << tail_bits) - 1)
+        if tail_bits >= r:
+            characteristic = tail >> (tail_bits - r) if r > 0 else 0
+            p = tail_bits - r
+            mantissa = tail & ((1 << p) - 1) if p > 0 else 0
+        else:
+            characteristic = tail << (r - tail_bits)
+            p = 0
+            mantissa = 0
+        c = (2**r - 1 + characteristic) if direction else (-(2 ** (r + 1)) + 1 + characteristic)
+        one = self.work_dtype(1.0)
+        if sign == 0:
+            significand = (1 << p) + mantissa if p > 0 else 1
+            return np.ldexp(self.work_dtype(significand), int(c - p))
+        # negative branch: l = -(c + m)
+        if mantissa == 0:
+            return -np.ldexp(one, int(-c))
+        significand = (1 << (p + 1)) - mantissa  # (2 - m) * 2^p
+        return -np.ldexp(self.work_dtype(significand), int(-c - 1 - p))
+
+    def encode(self, values) -> np.ndarray:
+        values = np.asarray(values, dtype=self.work_dtype)
+        rounded = self.round_array(values)
+        out = np.zeros(values.shape, dtype=np.uint64)
+        flat = rounded.ravel()
+        res = out.ravel()
+        for i in range(flat.size):
+            res[i] = self._encode_scalar(flat[i])
+        return out
+
+    def _encode_scalar(self, v) -> int:
+        n = self.bits
+        if np.isnan(v):
+            return 1 << (n - 1)
+        if v == 0:
+            return 0
+        sign = 1 if v < 0 else 0
+        g = abs(v)
+        lfloor = int(np.floor(np.log2(g)))
+        one = self.work_dtype(1.0)
+        if np.ldexp(one, lfloor) > g:
+            lfloor -= 1
+        elif np.ldexp(one, lfloor + 1) <= g:
+            lfloor += 1
+        frac = float(g / np.ldexp(one, lfloor) - one)  # in [0, 1)
+        if sign == 0:
+            c = lfloor
+            m = frac
+        else:
+            if frac == 0.0:
+                c, m = -lfloor, 0.0
+            else:
+                c, m = -lfloor - 1, 1.0 - frac
+        if c >= 0:
+            direction = 1
+            r = int(math.floor(math.log2(c + 1)))
+            characteristic = c - (2**r - 1)
+        else:
+            direction = 0
+            r = int(math.floor(math.log2(-c)))
+            characteristic = c + 2 ** (r + 1) - 1
+        tail_bits = n - 5
+        p = tail_bits - r
+        if p >= 0:
+            mantissa = int(round(m * 2**p))
+            if mantissa >= (1 << p) and p > 0:
+                mantissa = (1 << p) - 1  # cannot happen for representable v
+            tail = (characteristic << p) | mantissa if p > 0 else characteristic
+        else:
+            tail = characteristic >> (r - tail_bits)
+        regime = r if direction else 7 - r
+        return (
+            (sign << (n - 1))
+            | (direction << (n - 2))
+            | (regime << (n - 5))
+            | (tail & ((1 << tail_bits) - 1))
+        )
+
+    # ------------------------------------------------------------------ #
+    # tables
+    # ------------------------------------------------------------------ #
+    def _ensure_tables(self) -> None:
+        if not self._full_table or self._magnitudes is not None:
+            return
+        mags, codes = [0.0], [0]
+        for code in range(1, 1 << (self.bits - 1)):
+            mags.append(float(self.decode_code(code)))
+            codes.append(code)
+        mags = np.asarray(mags, dtype=np.float64)
+        codes = np.asarray(codes, dtype=np.int64)
+        order = np.argsort(mags)
+        self._magnitudes = mags[order]
+        self._codes = codes[order]
+
+    # ------------------------------------------------------------------ #
+    # value-space rounding
+    # ------------------------------------------------------------------ #
+    def round_array(self, values) -> np.ndarray:
+        x = np.asarray(values, dtype=self.work_dtype)
+        out = np.empty(x.shape, dtype=self.work_dtype)
+        self._ensure_tables()
+        nan_mask = np.isnan(x)
+        inf_mask = np.isinf(x)
+        zero_mask = x == 0
+        finite = np.isfinite(x)
+        a = np.abs(np.where(finite, x, 0.0))
+        sign = np.where(np.signbit(x), self.work_dtype(-1.0), self.work_dtype(1.0))
+
+        if self._full_table:
+            # clamp to the largest magnitude first: far outside the table the
+            # distances to the last two entries are indistinguishable in the
+            # work precision and the tie rule could pick the wrong one
+            clipped = np.minimum(a.astype(np.float64), self._magnitudes[-1])
+            idx = nearest_in_table(clipped, self._magnitudes, self._codes)
+            mag = self._magnitudes[idx].astype(self.work_dtype)
+            mag = np.where(
+                (mag == 0) & ~zero_mask, self.work_dtype(self._min_positive), mag
+            )
+        else:
+            mag = self._round_magnitude_analytic(a, zero_mask)
+
+        res = sign * mag
+        res = np.where(zero_mask, self.work_dtype(0.0), res)
+        res = np.where(inf_mask | nan_mask, self.work_dtype(np.nan), res)
+        out[...] = res
+        return out
+
+    def _round_magnitude_analytic(self, a, zero_mask) -> np.ndarray:
+        one = self.work_dtype(1.0)
+        safe = np.where(zero_mask, one, a)
+        _, e = np.frexp(safe)
+        c = np.clip(e.astype(np.int64) - 1, _C_MIN, _C_MAX)
+        cf = c.astype(np.float64)
+        # characteristic-field length: floor(log2(c+1)) for c >= 0, and
+        # floor(log2(-c)) for c < 0; both arguments are >= 1 by construction
+        log_arg = np.where(c >= 0, cf + 1.0, -cf)
+        r = np.floor(np.log2(log_arg)).astype(np.int64)
+        p = self.bits - 5 - r
+        quantum = np.ldexp(one, (c - p).astype(np.int64))
+        mag = round_to_quantum(safe, quantum)
+        mag = np.clip(mag, self._min_positive, self._max_value)
+        return np.where(zero_mask, self.work_dtype(0.0), mag)
+
+    # ------------------------------------------------------------------ #
+    # metadata
+    # ------------------------------------------------------------------ #
+    @property
+    def max_value(self) -> float:
+        return float(self._max_value)
+
+    @property
+    def min_positive(self) -> float:
+        return float(self._min_positive)
+
+    @property
+    def machine_epsilon(self) -> float:
+        # around 1.0: c = 0 -> r = 0 -> p = n - 5 mantissa bits
+        return math.ldexp(1.0, -(self.bits - 5))
+
+
+#: 8-bit linear takum
+TAKUM8 = TakumFormat(8)
+#: 16-bit linear takum
+TAKUM16 = TakumFormat(16)
+#: 32-bit linear takum
+TAKUM32 = TakumFormat(32)
+#: 64-bit linear takum
+TAKUM64 = TakumFormat(64)

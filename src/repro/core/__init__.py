@@ -1,0 +1,21 @@
+"""Implicitly restarted Arnoldi method with Krylov-Schur restarts.
+
+This is the reproduction of the algorithmic core the paper evaluates
+(``partialschur`` of ``ArnoldiMethod.jl``): a partial Schur / spectral
+decomposition of a large sparse symmetric matrix, computed with Arnoldi
+expansions and Krylov-Schur (thick) restarts, where every arithmetic
+operation is carried out in the target machine-number format via a
+:class:`~repro.arithmetic.context.ComputeContext`.
+"""
+
+from .results import PartialSchurResult, ArnoldiBreakdown
+from .arnoldi import arnoldi_expand, KrylovDecomposition
+from .krylov_schur import partialschur
+
+__all__ = [
+    "PartialSchurResult",
+    "ArnoldiBreakdown",
+    "KrylovDecomposition",
+    "arnoldi_expand",
+    "partialschur",
+]

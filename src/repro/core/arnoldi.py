@@ -1,0 +1,204 @@
+"""Arnoldi expansion of a Krylov(-Schur) decomposition.
+
+The solver maintains the generalised Krylov decomposition::
+
+    A V_k = V_k S_k + v_{k+1} b_k^T
+
+with ``V_k`` orthonormal, ``S_k`` the projected matrix and ``b_k`` the
+residual coupling vector (after a plain Arnoldi expansion ``b_k`` is
+``beta * e_k``; after a Krylov-Schur truncation it is a dense "spike" row).
+:func:`arnoldi_expand` grows such a decomposition column by column with
+classical Gram-Schmidt plus one DGKS re-orthogonalisation pass, all in the
+target arithmetic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .results import ArnoldiBreakdown
+
+__all__ = ["KrylovDecomposition", "arnoldi_expand"]
+
+
+@dataclasses.dataclass
+class KrylovDecomposition:
+    """State of a generalised Krylov decomposition of order ``k``.
+
+    Attributes
+    ----------
+    V:
+        ``(n, k)`` orthonormal basis.
+    S:
+        ``(k, k)`` projected matrix.
+    b:
+        ``(k,)`` residual coupling vector.
+    residual:
+        The next, normalised basis vector ``v_{k+1}`` (``None`` when the
+        subspace became invariant).
+    invariant:
+        True when the Krylov space is (numerically) invariant — the residual
+        vanished during expansion.
+    """
+
+    V: np.ndarray
+    S: np.ndarray
+    b: np.ndarray
+    residual: np.ndarray | None
+    invariant: bool = False
+
+    @property
+    def order(self) -> int:
+        return int(self.V.shape[1])
+
+
+#: DGKS acceptance factor: a Gram-Schmidt pass is trusted when it retains at
+#: least this fraction of the vector's norm (the classical 1/sqrt(2) value)
+_DGKS_ETA = 0.7071
+
+
+def _orthogonalize(ctx, V_active, w):
+    """Classical Gram-Schmidt with DGKS re-orthogonalisation.
+
+    Returns ``(w_orth, h, norm, breakdown)``: the orthogonalised vector, the
+    accumulated projection coefficients, the remaining norm and a flag that is
+    True when even the second pass could not produce a vector that is
+    numerically independent of the basis (the new direction is pure rounding
+    noise — continuing by normalising it would destroy orthogonality).
+    """
+    norm_before = ctx.norm2(w)
+    h = ctx.gemv_t(V_active, w)
+    w = ctx.sub(w, ctx.gemv(V_active, h))
+    norm_after = ctx.norm2(w)
+    if np.isfinite(norm_after) and float(norm_after) > _DGKS_ETA * float(norm_before):
+        return w, h, norm_after, False
+    # DGKS re-orthogonalisation: a second pass removes the components the
+    # first (rounded) pass left behind, which is essential at low precision
+    h2 = ctx.gemv_t(V_active, w)
+    w = ctx.sub(w, ctx.gemv(V_active, h2))
+    h = ctx.add(h, h2)
+    norm_final = ctx.norm2(w)
+    breakdown = not np.isfinite(norm_final) or float(norm_final) <= _DGKS_ETA * float(
+        norm_after
+    ) or float(norm_final) == 0.0
+    return w, h, norm_final, breakdown
+
+
+def _random_orthonormal(ctx, V_active, rng):
+    """A random unit vector orthogonalised against the basis, or ``None``.
+
+    Used to continue the Arnoldi process after a (numerical) invariant
+    subspace has been found, exactly like ARPACK's deflation restart.
+    """
+    n = V_active.shape[0]
+    for _ in range(3):
+        candidate = ctx.asarray(rng.standard_normal(n))
+        candidate, _, norm, breakdown = _orthogonalize(ctx, V_active, candidate)
+        if not breakdown and np.isfinite(norm) and float(norm) > 0.0:
+            return ctx.div(candidate, norm)
+    return None
+
+
+def arnoldi_expand(
+    ctx, matrix, decomp: KrylovDecomposition, target_order: int, rng=None
+):
+    """Grow ``decomp`` to order ``target_order`` by Arnoldi steps.
+
+    Parameters
+    ----------
+    ctx:
+        Compute context (arithmetic under evaluation).
+    matrix:
+        CSR matrix already converted into the context.
+    decomp:
+        Current Krylov decomposition (may have order 0).
+    target_order:
+        Desired subspace dimension after expansion.
+    rng:
+        Random generator used to continue past (numerical) invariant
+        subspaces with a fresh orthogonal direction, as ARPACK does; a
+        default generator is created when omitted.
+
+    Returns
+    -------
+    (decomp, matvecs):
+        The expanded decomposition and the number of matrix-vector products
+        performed.  The expansion stops early if the subspace becomes
+        invariant and no new direction can be injected.
+
+    Raises
+    ------
+    ArnoldiBreakdown
+        If non-finite values appear in the basis (overflow/NaR propagation).
+    """
+    n = matrix.shape[0]
+    k = decomp.order
+    target_order = min(target_order, n)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if k >= target_order or decomp.invariant:
+        return decomp, 0
+
+    V = np.zeros((n, target_order), dtype=ctx.dtype)
+    S = np.zeros((target_order, target_order), dtype=ctx.dtype)
+    if k:
+        V[:, :k] = decomp.V
+        S[:k, :k] = decomp.S
+        # spike row produced by the previous truncation
+        S[k, :k] = decomp.b if k < target_order else decomp.b
+    b = np.zeros(target_order, dtype=ctx.dtype)
+    v_next = decomp.residual
+    matvecs = 0
+
+    for j in range(k, target_order):
+        if v_next is None or not np.all(np.isfinite(v_next)):
+            raise ArnoldiBreakdown("non-finite Krylov vector")
+        V[:, j] = v_next
+        w = ctx.spmv(matrix, V[:, j])
+        matvecs += 1
+        if not np.all(np.isfinite(w)):
+            raise ArnoldiBreakdown("matrix-vector product overflowed")
+        w, h, beta, broke_down = _orthogonalize(ctx, V[:, : j + 1], w)
+        if not np.all(np.isfinite(np.asarray(h, dtype=np.float64))):
+            raise ArnoldiBreakdown("orthogonalisation coefficients overflowed")
+        S[: j + 1, j] = h
+        if not np.isfinite(beta):
+            raise ArnoldiBreakdown("residual norm overflowed")
+        if broke_down or float(beta) == 0.0:
+            # the Krylov space is (numerically) invariant: the residual of
+            # this column is pure noise.  Record a zero coupling and try to
+            # continue with a fresh random orthogonal direction (ARPACK's
+            # deflation restart); stop as invariant if that is impossible.
+            replacement = _random_orthonormal(ctx, V[:, : j + 1], rng)
+            if replacement is None:
+                return (
+                    KrylovDecomposition(
+                        V=V[:, : j + 1],
+                        S=S[: j + 1, : j + 1],
+                        b=np.zeros(j + 1, dtype=ctx.dtype),
+                        residual=None,
+                        invariant=True,
+                    ),
+                    matvecs,
+                )
+            v_next = replacement
+            if j + 1 < target_order:
+                S[j + 1, j] = 0.0
+            else:
+                b[:] = 0.0
+            continue
+        v_next = ctx.div(w, beta)
+        if j + 1 < target_order:
+            S[j + 1, j] = beta
+        else:
+            b[:] = 0.0
+            b[j] = beta
+
+    return (
+        KrylovDecomposition(
+            V=V, S=S, b=b, residual=v_next, invariant=False
+        ),
+        matvecs,
+    )

@@ -1,0 +1,88 @@
+"""Result and exception types of the partial Schur solver."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PartialSchurResult", "ArnoldiBreakdown"]
+
+
+class ArnoldiBreakdown(RuntimeError):
+    """Unrecoverable breakdown of the Arnoldi process.
+
+    Raised when non-finite values contaminate the Krylov basis (overflow,
+    division by a vanishing norm, NaR propagation) — a typical failure mode
+    of the 8-bit formats in the study.
+    """
+
+
+@dataclasses.dataclass
+class PartialSchurResult:
+    """Outcome of :func:`repro.core.partialschur`.
+
+    Attributes
+    ----------
+    eigenvalues:
+        Ritz values ordered by the requested rule (most wanted first),
+        length ``nev`` (fewer if the Krylov space was exhausted earlier).
+    eigenvectors:
+        Matrix whose columns are the corresponding Ritz (eigen-)vectors, in
+        the arithmetic's work dtype.
+    residuals:
+        Ritz residual estimates ``|b^T y_i|`` for each returned pair.
+    converged:
+        Whether at least ``nev`` pairs satisfied the convergence tolerance.
+    nconverged:
+        Number of converged pairs among the returned ones.
+    restarts:
+        Number of Krylov-Schur restarts performed.
+    matvecs:
+        Number of sparse matrix-vector products.
+    reason:
+        Human-readable termination reason (``"converged"``, ``"maxiter"``,
+        ``"breakdown"``, ``"invariant"``, ``"eigensolver-failure"``).
+    which:
+        Ordering rule the eigenvalues are sorted by.
+    tolerance:
+        Relative convergence tolerance used.
+    format_name:
+        Name of the arithmetic the computation ran in.
+    history:
+        Per-restart record of the number of converged pairs (diagnostics).
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    residuals: np.ndarray
+    converged: bool
+    nconverged: int
+    restarts: int
+    matvecs: int
+    reason: str
+    which: str
+    tolerance: float
+    format_name: str
+    history: Optional[list] = None
+
+    @property
+    def nev(self) -> int:
+        """Number of returned Ritz pairs."""
+        return int(self.eigenvalues.shape[0])
+
+    def eigenvalues_float64(self) -> np.ndarray:
+        """Eigenvalues converted to float64 (for reporting)."""
+        return np.asarray(self.eigenvalues, dtype=np.float64)
+
+    def eigenvectors_float64(self) -> np.ndarray:
+        """Eigenvectors converted to float64 (for reporting)."""
+        return np.asarray(self.eigenvectors, dtype=np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        status = "converged" if self.converged else f"NOT converged ({self.reason})"
+        return (
+            f"<PartialSchurResult {self.format_name}: {self.nev} pairs, "
+            f"{status}, {self.restarts} restarts, {self.matvecs} matvecs>"
+        )

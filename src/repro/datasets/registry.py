@@ -1,0 +1,36 @@
+"""Suite registry: look up the paper's workloads by name."""
+
+from __future__ import annotations
+
+from .graphs import graph_suite
+from .suitesparse import suitesparse_like
+from .testmatrix import CLASS_NAMES, TestMatrix
+
+__all__ = ["available_suites", "get_suite"]
+
+#: suite names understood by :func:`get_suite`
+_SUITES = ("general",) + CLASS_NAMES + ("all-graphs",)
+
+
+def available_suites() -> tuple[str, ...]:
+    """Names accepted by :func:`get_suite`."""
+    return _SUITES
+
+
+def get_suite(name: str, **kwargs) -> list[TestMatrix]:
+    """Build a workload suite by name.
+
+    ``"general"`` maps to the SuiteSparse-like matrices (Figure 1),
+    ``"biological"``/``"infrastructure"``/``"social"``/``"miscellaneous"`` to
+    the corresponding graph-Laplacian classes (Figures 2-5) and
+    ``"all-graphs"`` to the union of the four classes.  Keyword arguments are
+    forwarded to the underlying generator (``count``, ``scale``,
+    ``size_range``, ``seed``, ...).
+    """
+    if name == "general":
+        return suitesparse_like(**kwargs)
+    if name == "all-graphs":
+        return graph_suite(classes="all", **kwargs)
+    if name in CLASS_NAMES:
+        return graph_suite(classes=name, **kwargs)
+    raise KeyError(f"unknown suite {name!r}; available: {_SUITES}")

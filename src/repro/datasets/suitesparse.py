@@ -1,0 +1,253 @@
+"""Synthetic stand-in for the SuiteSparse Matrix Collection subset.
+
+The paper uses 302 general symmetric matrices (all symmetric matrices of the
+collection with at most 20 000 non-zeros, prepared as in the companion ARITH
+paper).  Offline, this module generates a comparable population: symmetric
+sparse matrices drawn from several structural families with a wide spread of
+sizes, condition numbers and entry dynamic ranges — the properties that drive
+the numerical behaviour studied in the paper (range overflow for OFP8,
+tapered-precision effects for posits/takums).
+
+Every matrix is produced deterministically from ``(family, index, seed)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import COOMatrix, CSRMatrix
+from .testmatrix import TestMatrix
+
+__all__ = ["GENERAL_FAMILIES", "suitesparse_like"]
+
+
+# --------------------------------------------------------------------------- #
+# individual generator families
+# --------------------------------------------------------------------------- #
+def _banded_geometric(n: int, rng: np.random.Generator) -> CSRMatrix:
+    """Banded symmetric matrix with geometrically graded diagonal.
+
+    The diagonal spans several orders of magnitude, giving a controlled
+    condition number while staying well inside float64 range.
+    """
+    bandwidth = int(rng.integers(1, 4))
+    span = float(rng.uniform(1.0, 5.0))  # log10 of the diagonal spread
+    diag = 10.0 ** np.linspace(-span / 2, span / 2, n)
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        rows.append(i)
+        cols.append(i)
+        vals.append(diag[i])
+    for off in range(1, bandwidth + 1):
+        coupling = rng.uniform(0.05, 0.4)
+        for i in range(n - off):
+            v = coupling * np.sqrt(diag[i] * diag[i + off])
+            rows += [i, i + off]
+            cols += [i + off, i]
+            vals += [v, v]
+    return COOMatrix(rows, cols, vals, (n, n)).tocsr()
+
+
+def _laplacian_2d(n: int, rng: np.random.Generator) -> CSRMatrix:
+    """Standard 5-point Laplacian stencil on a rectangular grid (~n nodes)."""
+    nx_ = max(2, int(np.sqrt(n)))
+    ny_ = max(2, int(np.ceil(n / nx_)))
+    total = nx_ * ny_
+    rows, cols, vals = [], [], []
+
+    def idx(i, j):
+        return i * ny_ + j
+
+    for i in range(nx_):
+        for j in range(ny_):
+            center = idx(i, j)
+            rows.append(center)
+            cols.append(center)
+            vals.append(4.0)
+            for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                ii, jj = i + di, j + dj
+                if 0 <= ii < nx_ and 0 <= jj < ny_:
+                    rows.append(center)
+                    cols.append(idx(ii, jj))
+                    vals.append(-1.0)
+    return COOMatrix(rows, cols, vals, (total, total)).tocsr()
+
+
+def _random_symmetric(n: int, rng: np.random.Generator) -> CSRMatrix:
+    """Random sparse symmetric matrix with standard-normal entries."""
+    density = float(rng.uniform(0.02, 0.08))
+    nnz_target = max(n, int(density * n * n / 2))
+    rows = rng.integers(0, n, nnz_target)
+    cols = rng.integers(0, n, nnz_target)
+    vals = rng.standard_normal(nnz_target)
+    all_rows = np.concatenate([rows, cols, np.arange(n)])
+    all_cols = np.concatenate([cols, rows, np.arange(n)])
+    all_vals = np.concatenate([vals * 0.5, vals * 0.5, rng.standard_normal(n)])
+    return COOMatrix(all_rows, all_cols, all_vals, (n, n)).tocsr()
+
+
+def _spd_gram(n: int, rng: np.random.Generator) -> CSRMatrix:
+    """Sparse symmetric positive definite Gram-like matrix.
+
+    Built as a weighted graph Laplacian plus a random positive diagonal shift
+    (which keeps the matrix sparse, unlike an explicit ``B^T B``).
+    """
+    avg_degree = int(rng.integers(2, 6))
+    m = n * avg_degree
+    rows = rng.integers(0, n, m)
+    cols = rng.integers(0, n, m)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    w = rng.uniform(0.1, 2.0, rows.size)
+    lap_rows = np.concatenate([rows, cols, rows, cols])
+    lap_cols = np.concatenate([cols, rows, rows, cols])
+    lap_vals = np.concatenate([-w, -w, w, w])
+    shift = rng.uniform(0.01, 1.0, n)
+    all_rows = np.concatenate([lap_rows, np.arange(n)])
+    all_cols = np.concatenate([lap_cols, np.arange(n)])
+    all_vals = np.concatenate([lap_vals, shift])
+    return COOMatrix(all_rows, all_cols, all_vals, (n, n)).tocsr()
+
+
+def _wide_dynamic_range(n: int, rng: np.random.Generator) -> CSRMatrix:
+    """Symmetric matrix whose entries span many orders of magnitude.
+
+    These matrices exercise the ∞σ condition of the paper: their entries
+    overflow/underflow the 8-bit formats (and sometimes float16) while being
+    unproblematic for the tapered-precision formats.
+    """
+    span = float(rng.uniform(6.0, 16.0))  # log10 of the entry spread
+    diag = 10.0 ** rng.uniform(-span / 2, span / 2, n)
+    rows = list(range(n))
+    cols = list(range(n))
+    vals = list(diag)
+    extra = n // 2
+    up = rng.integers(0, n - 1, extra)
+    for i in up:
+        v = 10.0 ** rng.uniform(-span / 2, span / 2)
+        rows += [int(i), int(i) + 1]
+        cols += [int(i) + 1, int(i)]
+        vals += [v, v]
+    return COOMatrix(rows, cols, vals, (n, n)).tocsr()
+
+
+def _arrowhead(n: int, rng: np.random.Generator) -> CSRMatrix:
+    """Arrowhead matrix: dense first row/column plus a graded diagonal."""
+    diag = np.linspace(1.0, float(rng.uniform(5.0, 50.0)), n)
+    coupling = rng.uniform(0.1, 1.0, n - 1)
+    rows = list(range(n)) + list(range(1, n)) + [0] * (n - 1)
+    cols = list(range(n)) + [0] * (n - 1) + list(range(1, n))
+    vals = list(diag) + list(coupling) + list(coupling)
+    return COOMatrix(rows, cols, vals, (n, n)).tocsr()
+
+
+def _tridiagonal_toeplitz(n: int, rng: np.random.Generator) -> CSRMatrix:
+    """Tridiagonal Toeplitz matrix (known, well-separated spectrum)."""
+    a = float(rng.uniform(1.0, 4.0))
+    b = float(rng.uniform(0.2, 1.0))
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        rows.append(i)
+        cols.append(i)
+        vals.append(a)
+        if i + 1 < n:
+            rows += [i, i + 1]
+            cols += [i + 1, i]
+            vals += [b, b]
+    return COOMatrix(rows, cols, vals, (n, n)).tocsr()
+
+
+def _clustered_spectrum(n: int, rng: np.random.Generator) -> CSRMatrix:
+    """Nearly block-diagonal matrix with tightly clustered eigenvalues.
+
+    Clusters of close eigenvalues are the motivation for the paper's
+    eigenvalue-buffer / Hungarian-matching machinery: tiny perturbations
+    reorder them between precisions.
+    """
+    n_clusters = max(2, n // 8)
+    centers = rng.uniform(1.0, 10.0, n_clusters)
+    diag = np.empty(n)
+    for i in range(n):
+        c = centers[i % n_clusters]
+        diag[i] = c * (1.0 + 1e-6 * rng.standard_normal())
+    rows = list(range(n))
+    cols = list(range(n))
+    vals = list(diag)
+    for i in range(n - 1):
+        v = 1e-4 * rng.standard_normal()
+        rows += [i, i + 1]
+        cols += [i + 1, i]
+        vals += [v, v]
+    return COOMatrix(rows, cols, vals, (n, n)).tocsr()
+
+
+def _scaled_stencil(n: int, rng: np.random.Generator) -> CSRMatrix:
+    """Ill-conditioned matrix: D L D with L a stencil and D a graded diagonal."""
+    base = _laplacian_2d(n, rng)
+    m = base.shape[0]
+    span = float(rng.uniform(2.0, 6.0))
+    d = 10.0 ** np.linspace(-span / 2, span / 2, m)
+    coo = base.tocoo()
+    vals = coo.values * d[coo.rows] * d[coo.cols]
+    return COOMatrix(coo.rows, coo.cols, vals, base.shape).tocsr()
+
+
+#: family name -> generator(n, rng) -> CSRMatrix
+GENERAL_FAMILIES: dict[str, callable] = {
+    "banded_geometric": _banded_geometric,
+    "laplacian_2d": _laplacian_2d,
+    "random_symmetric": _random_symmetric,
+    "spd_gram": _spd_gram,
+    "wide_dynamic_range": _wide_dynamic_range,
+    "arrowhead": _arrowhead,
+    "tridiagonal_toeplitz": _tridiagonal_toeplitz,
+    "clustered_spectrum": _clustered_spectrum,
+    "scaled_stencil": _scaled_stencil,
+}
+
+
+def suitesparse_like(
+    count: int = 302,
+    size_range: tuple[int, int] = (24, 400),
+    max_nnz: int = 20000,
+    seed: int = 0,
+) -> list[TestMatrix]:
+    """Generate the synthetic "general symmetric matrices" suite.
+
+    Parameters
+    ----------
+    count:
+        Number of matrices (the paper uses 302).
+    size_range:
+        Inclusive range of matrix orders to draw from.
+    max_nnz:
+        Matrices exceeding this non-zero count are regenerated smaller
+        (mirrors the paper's 20 000-non-zero cut-off).
+    seed:
+        Base seed; the suite is fully deterministic.
+
+    Returns
+    -------
+    list[TestMatrix]
+        Matrices tagged with ``group="general"`` and their family name.
+    """
+    families = list(GENERAL_FAMILIES)
+    suite: list[TestMatrix] = []
+    for index in range(count):
+        family = families[index % len(families)]
+        rng = np.random.default_rng([seed, index])
+        n = int(rng.integers(size_range[0], size_range[1] + 1))
+        matrix = GENERAL_FAMILIES[family](n, rng)
+        while matrix.nnz > max_nnz and n > size_range[0]:
+            n = max(size_range[0], n // 2)
+            matrix = GENERAL_FAMILIES[family](n, rng)
+        suite.append(
+            TestMatrix(
+                name=f"general/{family}_{index:04d}",
+                matrix=matrix,
+                group="general",
+                category=family,
+                kind="synthetic SuiteSparse-like symmetric matrix",
+            )
+        )
+    return suite

@@ -1,0 +1,129 @@
+"""Test-matrix metadata structure and the Table-1 category/class mapping."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+
+__all__ = ["TestMatrix", "CATEGORY_TO_CLASS", "CLASS_NAMES", "classify_category"]
+
+
+#: the four aggregate classes used throughout the paper's graph experiments
+CLASS_NAMES: tuple[str, ...] = (
+    "biological",
+    "infrastructure",
+    "social",
+    "miscellaneous",
+)
+
+#: Table 1 of the paper: mapping of the 31 Network-Repository categories to
+#: the four aggregate classes
+CATEGORY_TO_CLASS: dict[str, str] = {
+    # biological
+    "bio": "biological",
+    "eco": "biological",
+    "protein": "biological",
+    "bn": "biological",
+    # infrastructure
+    "inf": "infrastructure",
+    "massive": "infrastructure",
+    "power": "infrastructure",
+    "road": "infrastructure",
+    "tech": "infrastructure",
+    "web": "infrastructure",
+    # social
+    "ca": "social",
+    "cit": "social",
+    "dynamic": "social",
+    "econ": "social",
+    "email": "social",
+    "ia": "social",
+    "proximity": "social",
+    "rec": "social",
+    "retweet_graphs": "social",
+    "rt": "social",
+    "soc": "social",
+    "socfb": "social",
+    "tscc": "social",
+    # miscellaneous
+    "dimacs": "miscellaneous",
+    "dimacs10": "miscellaneous",
+    "graph500": "miscellaneous",
+    "heter": "miscellaneous",
+    "labeled": "miscellaneous",
+    "misc": "miscellaneous",
+    "rand": "miscellaneous",
+    "sc": "miscellaneous",
+}
+
+
+def classify_category(category: str) -> str:
+    """Aggregate class of a Network-Repository category (Table 1)."""
+    try:
+        return CATEGORY_TO_CLASS[category]
+    except KeyError:
+        raise KeyError(
+            f"unknown graph category {category!r}; known: {sorted(CATEGORY_TO_CLASS)}"
+        ) from None
+
+
+@dataclasses.dataclass
+class TestMatrix:
+    """A matrix under test plus its metadata (MuFoLAB's ``TestMatrix``).
+
+    (The leading ``Test`` mirrors MuFoLAB's naming; ``__test__ = False``
+    keeps pytest from trying to collect it.)
+
+    Attributes
+    ----------
+    name:
+        Unique identifier (``"<category>/<name>"`` for graphs).
+    matrix:
+        The symmetric CSR matrix the experiments run on (for graphs this is
+        already the symmetrically normalised Laplacian).
+    group:
+        Collection the matrix belongs to: ``"general"`` for the
+        SuiteSparse-like suite or one of :data:`CLASS_NAMES` for graphs.
+    category:
+        Fine-grained category (synthetic family name or graph category).
+    kind:
+        Free-form description of the generator / matrix kind.
+    """
+
+    __test__ = False  # not a pytest test class
+
+    name: str
+    matrix: CSRMatrix
+    group: str
+    category: str = ""
+    kind: str = ""
+
+    @property
+    def n(self) -> int:
+        """Matrix order."""
+        return self.matrix.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return self.matrix.nnz
+
+    def is_symmetric(self, tol: float = 1e-12) -> bool:
+        return self.matrix.is_symmetric(tol=tol)
+
+    def dynamic_range(self) -> float:
+        """Ratio of the largest to the smallest non-zero entry magnitude."""
+        lo = self.matrix.min_abs_nonzero()
+        hi = self.matrix.max_abs()
+        if lo == 0.0:
+            return np.inf if hi > 0 else 1.0
+        return hi / lo
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"<TestMatrix {self.name!r} group={self.group} n={self.n} nnz={self.nnz}>"
+        )

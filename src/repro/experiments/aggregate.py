@@ -1,0 +1,120 @@
+"""Aggregation of run records into cumulative error distributions.
+
+The paper's figures plot, per format, the sorted relative errors against the
+run percentile ("cumulative error distribution"), with separate markers for
+runs that did not converge (∞ω) and runs whose input matrix did not fit the
+format's dynamic range (∞σ).  This module produces exactly those series plus
+compact summary statistics used in EXPERIMENTS.md and the benchmark output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .runner import RunRecord
+
+__all__ = [
+    "cumulative_distribution",
+    "FormatSummary",
+    "aggregate_by_format",
+    "figure_series",
+]
+
+
+def cumulative_distribution(errors: Sequence[float]) -> list[tuple[float, float]]:
+    """Sorted ``(percentile, log10(error))`` pairs of the finite errors."""
+    finite = sorted(e for e in errors if np.isfinite(e))
+    points = []
+    n = len(finite)
+    for i, err in enumerate(finite):
+        percentile = 100.0 * (i + 1) / n if n else 0.0
+        log_err = math.log10(err) if err > 0 else -np.inf
+        points.append((percentile, log_err))
+    return points
+
+
+@dataclasses.dataclass
+class FormatSummary:
+    """Summary of one format's runs on one suite."""
+
+    format: str
+    total_runs: int
+    evaluated: int
+    no_convergence: int
+    range_exceeded: int
+    reference_failed: int
+    eigenvalue_percentiles: dict[int, float]
+    eigenvector_percentiles: dict[int, float]
+    eigenvalue_median_log10: float
+    eigenvector_median_log10: float
+
+    @property
+    def failure_fraction(self) -> float:
+        """Fraction of runs ending in ∞ω or ∞σ."""
+        denom = self.total_runs - self.reference_failed
+        if denom <= 0:
+            return 0.0
+        return (self.no_convergence + self.range_exceeded) / denom
+
+
+def _percentiles(values: Sequence[float], levels=(10, 25, 50, 75, 90)) -> dict[int, float]:
+    finite = np.asarray([v for v in values if np.isfinite(v)], dtype=np.float64)
+    if finite.size == 0:
+        return {level: float("nan") for level in levels}
+    return {level: float(np.percentile(finite, level)) for level in levels}
+
+
+def aggregate_by_format(records: Iterable[RunRecord]) -> dict[str, FormatSummary]:
+    """Group records per format and compute summary statistics."""
+    by_format: dict[str, list[RunRecord]] = {}
+    for record in records:
+        by_format.setdefault(record.format, []).append(record)
+    summaries: dict[str, FormatSummary] = {}
+    for name, recs in by_format.items():
+        evaluated = [r for r in recs if r.evaluated]
+        ev_errors = [r.eigenvalue_relative_error for r in evaluated]
+        vec_errors = [r.eigenvector_relative_error for r in evaluated]
+        ev_pct = _percentiles(ev_errors)
+        vec_pct = _percentiles(vec_errors)
+        summaries[name] = FormatSummary(
+            format=name,
+            total_runs=len(recs),
+            evaluated=len(evaluated),
+            no_convergence=sum(1 for r in recs if r.status == "no_convergence"),
+            range_exceeded=sum(1 for r in recs if r.status == "range_exceeded"),
+            reference_failed=sum(1 for r in recs if r.status == "reference_failed"),
+            eigenvalue_percentiles=ev_pct,
+            eigenvector_percentiles=vec_pct,
+            eigenvalue_median_log10=(
+                math.log10(ev_pct[50]) if np.isfinite(ev_pct[50]) and ev_pct[50] > 0 else float("nan")
+            ),
+            eigenvector_median_log10=(
+                math.log10(vec_pct[50]) if np.isfinite(vec_pct[50]) and vec_pct[50] > 0 else float("nan")
+            ),
+        )
+    return summaries
+
+
+def figure_series(
+    records: Iterable[RunRecord], metric: str = "eigenvalue"
+) -> dict[str, list[tuple[float, float]]]:
+    """Cumulative error distribution series per format for one metric.
+
+    ``metric`` is ``"eigenvalue"`` or ``"eigenvector"``; the returned mapping
+    is suitable for :func:`repro.utils.textplot.ascii_plot`.
+    """
+    if metric not in ("eigenvalue", "eigenvector"):
+        raise ValueError("metric must be 'eigenvalue' or 'eigenvector'")
+    attribute = f"{metric}_relative_error"
+    by_format: dict[str, list[float]] = {}
+    for record in records:
+        if record.status == "reference_failed":
+            continue
+        by_format.setdefault(record.format, [])
+        if record.evaluated:
+            by_format[record.format].append(getattr(record, attribute))
+    return {name: cumulative_distribution(errors) for name, errors in by_format.items()}

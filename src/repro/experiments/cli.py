@@ -1,0 +1,111 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage (module form)::
+
+    python -m repro.experiments.cli --suite general --widths 16 32 \
+        --matrices 6 --output results.csv
+
+runs the chosen suite (one of the paper's five workloads) with all formats of
+the requested bit widths, prints the figure report (percentile table + ASCII
+cumulative error distributions) and optionally writes the raw per-run records
+as CSV.  The defaults are a scaled-down laptop workload; raising
+``--matrices``/``--scale`` approaches the paper's population sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+from ..arithmetic.registry import PAPER_FORMATS
+from ..datasets import get_suite
+from .config import ExperimentConfig
+from .figures import figure_csv_rows, figure_report, table1_report
+from .runner import run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser of the experiment CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Reproduce the IRAM low-precision eigenvalue experiments.",
+    )
+    parser.add_argument(
+        "--suite",
+        default="general",
+        choices=["general", "biological", "infrastructure", "social", "miscellaneous", "table1"],
+        help="workload: 'general' = Figure 1, graph classes = Figures 2-5, "
+        "'table1' only prints the classification table",
+    )
+    parser.add_argument(
+        "--widths",
+        type=int,
+        nargs="+",
+        default=[8, 16, 32, 64],
+        choices=[8, 16, 32, 64],
+        help="bit widths (figure panels) to evaluate",
+    )
+    parser.add_argument("--matrices", type=int, default=6, help="matrices to evaluate")
+    parser.add_argument(
+        "--scale", type=float, default=0.01, help="fraction of the Table-1 graph counts"
+    )
+    parser.add_argument("--min-size", type=int, default=24, help="smallest matrix order")
+    parser.add_argument("--max-size", type=int, default=48, help="largest matrix order")
+    parser.add_argument("--restarts", type=int, default=30, help="Krylov-Schur restart budget")
+    parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument("--no-plots", action="store_true", help="omit the ASCII plots")
+    parser.add_argument("--output", default=None, help="write per-run records to this CSV file")
+    return parser
+
+
+def _build_suite(args):
+    size_range = (args.min_size, args.max_size)
+    if args.suite == "general":
+        return get_suite("general", count=args.matrices, size_range=size_range, seed=args.seed)
+    suite = get_suite(args.suite, scale=args.scale, size_range=size_range, seed=args.seed)
+    return suite[: args.matrices]
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.suite == "table1":
+        print(table1_report(scale=args.scale))
+        return 0
+
+    suite = _build_suite(args)
+    if not suite:
+        print("no matrices generated for the requested workload", file=sys.stderr)
+        return 1
+    formats = [name for width in args.widths for name in PAPER_FORMATS[width]]
+    config = ExperimentConfig(restarts=args.restarts)
+    print(
+        f"running suite {args.suite!r}: {len(suite)} matrices x {len(formats)} formats "
+        f"(restarts={args.restarts}, workers={args.workers})",
+        file=sys.stderr,
+    )
+    result = run_experiment(suite, formats, config, workers=args.workers)
+    print(
+        figure_report(
+            result.records,
+            widths=tuple(args.widths),
+            title=f"Cumulative error distributions — suite {args.suite!r}",
+            plots=not args.no_plots,
+        )
+    )
+    if args.output:
+        rows = figure_csv_rows(result.records)
+        with open(args.output, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"wrote {len(rows)} records to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Error metrics of the evaluation (Section 2.2 of the paper).
+
+After matching, the paper quantifies a run with the L2 norm of the difference
+between reference and computed quantities: the *absolute* error is
+``||ref - computed||_2`` and the *relative* error divides by ``||ref||_2``.
+The same metric is applied to the vector of eigenvalues and to the matrix of
+eigenvectors (Frobenius/L2 over all retained columns).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["absolute_l2_error", "relative_l2_error", "error_metrics", "ErrorMetrics"]
+
+
+def absolute_l2_error(reference, computed) -> float:
+    """``||reference - computed||_2`` over all entries."""
+    ref = np.asarray(reference, dtype=np.longdouble)
+    comp = np.asarray(computed, dtype=np.longdouble)
+    return float(np.sqrt(np.sum((ref - comp) ** 2)))
+
+
+def relative_l2_error(reference, computed) -> float:
+    """``||reference - computed||_2 / ||reference||_2``.
+
+    A zero reference norm returns the absolute error (and 0 when both are
+    zero), so the metric is always defined.
+    """
+    ref = np.asarray(reference, dtype=np.longdouble)
+    denom = float(np.sqrt(np.sum(ref**2)))
+    abs_err = absolute_l2_error(reference, computed)
+    if denom == 0.0:
+        return abs_err
+    return abs_err / denom
+
+
+@dataclasses.dataclass
+class ErrorMetrics:
+    """Absolute and relative errors of one run (eigenvalues and eigenvectors)."""
+
+    eigenvalue_absolute: float
+    eigenvalue_relative: float
+    eigenvector_absolute: float
+    eigenvector_relative: float
+
+    @property
+    def finite(self) -> bool:
+        """Whether all recorded errors are finite."""
+        return all(
+            np.isfinite(v)
+            for v in (
+                self.eigenvalue_absolute,
+                self.eigenvalue_relative,
+                self.eigenvector_absolute,
+                self.eigenvector_relative,
+            )
+        )
+
+
+def error_metrics(ref_values, ref_vectors, values, vectors) -> ErrorMetrics:
+    """Compute the paper's error metrics for one matched run."""
+    return ErrorMetrics(
+        eigenvalue_absolute=absolute_l2_error(ref_values, values),
+        eigenvalue_relative=relative_l2_error(ref_values, values),
+        eigenvector_absolute=absolute_l2_error(ref_vectors, vectors),
+        eigenvector_relative=relative_l2_error(ref_vectors, vectors),
+    )

@@ -1,0 +1,159 @@
+"""Figure and table emitters: regenerate the paper's tables/figures as text.
+
+Each of the paper's figures (1-5) is one suite evaluated at four bit widths,
+with a left panel (eigenvalue relative errors) and a right panel (eigenvector
+relative errors).  :func:`figure_report` renders the equivalent information
+as percentile tables plus ASCII cumulative-distribution plots;
+:func:`figure_csv_rows` exposes the same data in machine-readable rows.
+:func:`table1_report` reproduces Table 1 (graph category → class counts).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..arithmetic.registry import PAPER_FORMATS
+from ..datasets.graphs import category_counts, table1_counts
+from ..datasets.testmatrix import CATEGORY_TO_CLASS, CLASS_NAMES
+from ..utils.textplot import ascii_plot, format_table
+from .aggregate import aggregate_by_format, figure_series
+from .runner import RunRecord
+
+__all__ = [
+    "figure_report",
+    "render_figure",
+    "figure_csv_rows",
+    "table1_report",
+]
+
+
+def _records_for_width(records: Iterable[RunRecord], width: int) -> list[RunRecord]:
+    names = set(PAPER_FORMATS[width])
+    return [r for r in records if r.format in names]
+
+
+def render_figure(records: Sequence[RunRecord], metric: str, title: str) -> str:
+    """ASCII cumulative-distribution plot for one panel."""
+    series = figure_series(records, metric=metric)
+    series = {name: pts for name, pts in series.items() if pts}
+    if not series:
+        return f"{title}\n(no evaluated runs)\n"
+    return f"{title}\n" + ascii_plot(series)
+
+
+def figure_report(
+    records: Sequence[RunRecord],
+    widths: Sequence[int] = (8, 16, 32, 64),
+    title: str = "",
+    plots: bool = True,
+) -> str:
+    """Render one paper figure (all bit-width panels) as text.
+
+    For every bit width the report contains a summary table (number of runs,
+    ∞ω / ∞σ counts, log10 relative-error percentiles for eigenvalues and
+    eigenvectors) and, optionally, ASCII cumulative-distribution plots that
+    correspond to the left/right columns of the paper's figures.
+    """
+    sections = [title] if title else []
+    for width in widths:
+        width_records = _records_for_width(records, width)
+        if not width_records:
+            continue
+        summaries = aggregate_by_format(width_records)
+        rows = []
+        for name in PAPER_FORMATS[width]:
+            if name not in summaries:
+                continue
+            s = summaries[name]
+            rows.append(
+                [
+                    name,
+                    s.total_runs,
+                    s.evaluated,
+                    s.no_convergence,
+                    s.range_exceeded,
+                    _fmt_log(s.eigenvalue_percentiles[25]),
+                    _fmt_log(s.eigenvalue_percentiles[50]),
+                    _fmt_log(s.eigenvalue_percentiles[75]),
+                    _fmt_log(s.eigenvector_percentiles[50]),
+                ]
+            )
+        sections.append(
+            format_table(
+                [
+                    "format",
+                    "runs",
+                    "ok",
+                    "inf_omega",
+                    "inf_sigma",
+                    "lam p25",
+                    "lam p50",
+                    "lam p75",
+                    "vec p50",
+                ],
+                rows,
+                title=f"--- {width}-bit formats (log10 relative errors) ---",
+            )
+        )
+        if plots:
+            sections.append(
+                render_figure(width_records, "eigenvalue", f"{width}-bit eigenvalue errors")
+            )
+            sections.append(
+                render_figure(width_records, "eigenvector", f"{width}-bit eigenvector errors")
+            )
+    return "\n".join(sections)
+
+
+def _fmt_log(value: float) -> str:
+    import math
+
+    if value is None or not math.isfinite(value) or value <= 0:
+        return "n/a"
+    return f"{math.log10(value):+.2f}"
+
+
+def figure_csv_rows(records: Sequence[RunRecord]) -> list[dict]:
+    """Machine-readable rows (one per run) for CSV/JSON export."""
+    rows = []
+    for r in records:
+        rows.append(
+            {
+                "matrix": r.matrix,
+                "group": r.group,
+                "category": r.category,
+                "format": r.format,
+                "status": r.status,
+                "eigenvalue_relative_error": r.eigenvalue_relative_error,
+                "eigenvector_relative_error": r.eigenvector_relative_error,
+                "restarts": r.restarts,
+                "matvecs": r.matvecs,
+            }
+        )
+    return rows
+
+
+def table1_report(scale: float | None = None) -> str:
+    """Reproduce Table 1: graph categories, classes and their counts.
+
+    With ``scale=None`` the report shows the paper's counts; with a scale the
+    synthetic suite's (scaled) counts are shown next to them.
+    """
+    full = table1_counts()
+    scaled = category_counts(scale) if scale is not None else None
+    rows = []
+    for cls in CLASS_NAMES:
+        class_total = sum(c for cat, c in full.items() if CATEGORY_TO_CLASS[cat] == cls)
+        first = True
+        for category, count in full.items():
+            if CATEGORY_TO_CLASS[category] != cls:
+                continue
+            row = [cls if first else "", class_total if first else "", category, count]
+            if scaled is not None:
+                row.append(scaled[category])
+            rows.append(row)
+            first = False
+    headers = ["class", "class size", "graph category", "category size"]
+    if scaled is not None:
+        headers.append(f"synthetic (scale={scale})")
+    return format_table(headers, rows, title="Table 1: graph classification")

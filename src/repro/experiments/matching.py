@@ -1,0 +1,120 @@
+"""Eigenvector matching and sign fixing (Section 2.2 of the paper).
+
+Krylov methods are sensitive to perturbations: in different arithmetics,
+clustered eigenvalues converge in different orders, so naively comparing the
+i-th computed eigenvector with the i-th reference eigenvector reports large
+errors that are merely permutations.  The paper computes a small buffer of
+extra eigenpairs, builds the absolute cosine-similarity matrix between
+reference and computed eigenvectors, finds the best assignment with the
+Hungarian algorithm, and finally fixes the sign of every matched vector using
+the entry that is largest in magnitude in the reference vector.
+
+Matching is a post-processing step and therefore runs in float64/longdouble,
+not in the arithmetic under evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.hungarian import hungarian
+
+__all__ = ["cosine_similarity_matrix", "match_eigenpairs", "fix_signs"]
+
+
+def cosine_similarity_matrix(reference_vectors, computed_vectors) -> np.ndarray:
+    """Absolute cosine similarity between reference and computed columns.
+
+    ``C[i, j] = |<r_i, s_j>| / (||r_i|| ||s_j||)``; zero columns yield zero
+    similarity instead of NaN.
+    """
+    R = np.asarray(reference_vectors, dtype=np.float64)
+    S = np.asarray(computed_vectors, dtype=np.float64)
+    inner = np.abs(R.T @ S)
+    rnorm = np.linalg.norm(R, axis=0)
+    snorm = np.linalg.norm(S, axis=0)
+    denom = np.outer(rnorm, snorm)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        C = np.where(denom > 0, inner / denom, 0.0)
+    return C
+
+
+def fix_signs(reference_vectors, computed_vectors) -> np.ndarray:
+    """Align the sign of each computed column with its reference column.
+
+    Eigenvectors are unique only up to sign.  Using the first entry as the
+    sign anchor is unstable (it may be tiny); the paper instead uses the
+    entry with the largest magnitude in the *reference* vector and copies its
+    sign onto the computed vector.
+    """
+    R = np.asarray(reference_vectors, dtype=np.float64)
+    S = np.array(np.asarray(computed_vectors, dtype=np.float64), copy=True)
+    for j in range(min(R.shape[1], S.shape[1])):
+        anchor = int(np.argmax(np.abs(R[:, j])))
+        ref_sign = np.sign(R[anchor, j])
+        comp_sign = np.sign(S[anchor, j])
+        if ref_sign != 0 and comp_sign != 0 and ref_sign != comp_sign:
+            S[:, j] = -S[:, j]
+    return S
+
+
+def match_eigenpairs(
+    reference_values,
+    reference_vectors,
+    computed_values,
+    computed_vectors,
+    keep: int,
+):
+    """Match computed eigenpairs to the reference and trim to ``keep`` pairs.
+
+    Parameters
+    ----------
+    reference_values, reference_vectors:
+        Buffered reference eigenpairs (``keep + buffer`` of them).
+    computed_values, computed_vectors:
+        Buffered computed eigenpairs (possibly fewer if the run struggled).
+    keep:
+        Number of leading reference pairs to evaluate (the paper's
+        ``eigenvalue_count``; the extra buffer pairs are dropped after
+        matching).
+
+    Returns
+    -------
+    (values, vectors, permutation):
+        The matched & sign-fixed computed eigenvalues/eigenvectors aligned
+        with the first ``keep`` reference pairs, and the permutation used
+        (``permutation[i]`` is the computed column assigned to reference
+        column ``i``).
+    """
+    ref_vals = np.asarray(reference_values, dtype=np.float64)
+    ref_vecs = np.asarray(reference_vectors, dtype=np.float64)
+    comp_vals = np.asarray(computed_values, dtype=np.float64)
+    comp_vecs = np.asarray(computed_vectors, dtype=np.float64)
+
+    n_ref = ref_vals.shape[0]
+    n_comp = comp_vals.shape[0]
+    keep = min(keep, n_ref)
+    if n_comp == 0:
+        raise ValueError("no computed eigenpairs to match")
+
+    if n_comp < n_ref:
+        # assign each computed pair a reference pair, then invert the partial
+        # assignment; unmatched reference positions fall back to identity
+        similarity = cosine_similarity_matrix(comp_vecs, ref_vecs)
+        assignment, _ = hungarian(-similarity)
+        permutation = np.full(n_ref, -1, dtype=np.int64)
+        for comp_idx, ref_idx in enumerate(assignment):
+            permutation[ref_idx] = comp_idx
+        unmatched_refs = [i for i in range(n_ref) if permutation[i] < 0]
+        unused_comps = [j for j in range(n_comp) if j not in set(assignment)]
+        for ref_idx, comp_idx in zip(unmatched_refs, unused_comps):
+            permutation[ref_idx] = comp_idx
+        permutation = np.where(permutation < 0, 0, permutation)
+    else:
+        similarity = cosine_similarity_matrix(ref_vecs, comp_vecs)
+        permutation, _ = hungarian(-similarity)
+
+    matched_vals = comp_vals[permutation[:keep]]
+    matched_vecs = comp_vecs[:, permutation[:keep]]
+    matched_vecs = fix_signs(ref_vecs[:, :keep], matched_vecs)
+    return matched_vals, matched_vecs, permutation[:keep]

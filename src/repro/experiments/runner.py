@@ -1,0 +1,252 @@
+"""Per-matrix experiment execution and the experiment driver.
+
+``run_matrix_experiment`` reproduces the paper's pipeline for one test matrix
+across a list of formats; ``run_experiment`` maps it over a whole suite
+(optionally in parallel worker processes) and collects the records that the
+aggregation layer turns into the cumulative error distributions of the
+figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..arithmetic.context import ReferenceContext, get_context
+from ..core.krylov_schur import partialschur
+from ..datasets.testmatrix import TestMatrix
+from ..utils.parallel import parallel_map
+from .config import ExperimentConfig
+from .errors import ErrorMetrics, error_metrics
+from .matching import match_eigenpairs
+from .tolerances import tolerance_for
+
+__all__ = [
+    "RunRecord",
+    "ReferenceRecord",
+    "MatrixExperiment",
+    "ExperimentResult",
+    "run_matrix_experiment",
+    "run_experiment",
+]
+
+#: status values a run can end with (the last two are the paper's ∞ markers)
+RUN_STATUSES = ("ok", "reference_failed", "no_convergence", "range_exceeded")
+
+
+@dataclasses.dataclass
+class ReferenceRecord:
+    """Outcome of the extended-precision reference solve for one matrix."""
+
+    matrix: str
+    converged: bool
+    eigenvalues: np.ndarray
+    restarts: int
+    matvecs: int
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """Outcome of one (matrix, format) experiment.
+
+    ``status`` is ``"ok"`` for evaluated runs, ``"no_convergence"`` for the
+    paper's ∞ω marker, ``"range_exceeded"`` for ∞σ and
+    ``"reference_failed"`` when the reference solve itself did not converge
+    (those matrices are excluded from the distributions, as in MuFoLAB).
+    """
+
+    matrix: str
+    group: str
+    category: str
+    format: str
+    status: str
+    eigenvalue_relative_error: float = np.nan
+    eigenvector_relative_error: float = np.nan
+    eigenvalue_absolute_error: float = np.nan
+    eigenvector_absolute_error: float = np.nan
+    restarts: int = 0
+    matvecs: int = 0
+    solver_reason: str = ""
+
+    @property
+    def evaluated(self) -> bool:
+        """True when error metrics are available for this run."""
+        return self.status == "ok"
+
+
+@dataclasses.dataclass
+class MatrixExperiment:
+    """All records produced for one test matrix."""
+
+    matrix: str
+    reference: ReferenceRecord
+    runs: list[RunRecord]
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Flat collection of run records for a whole suite."""
+
+    records: list[RunRecord]
+    references: list[ReferenceRecord]
+    config: ExperimentConfig
+
+    def by_format(self, format_name: str) -> list[RunRecord]:
+        return [r for r in self.records if r.format == format_name]
+
+    def formats(self) -> list[str]:
+        seen: list[str] = []
+        for record in self.records:
+            if record.format not in seen:
+                seen.append(record.format)
+        return seen
+
+
+def _reference_solve(test_matrix: TestMatrix, config: ExperimentConfig):
+    """Reference partial spectral decomposition in extended precision."""
+    ctx = ReferenceContext(accumulation=config.accumulation)
+    result = partialschur(
+        test_matrix.matrix,
+        nev=min(config.nev_total, test_matrix.n),
+        which=config.which,
+        tol=config.reference_tolerance,
+        maxdim=config.maxdim,
+        restarts=max(config.restarts, 100),
+        ctx=ctx,
+        seed=config.seed,
+        eps_floor=True,
+    )
+    record = ReferenceRecord(
+        matrix=test_matrix.name,
+        converged=result.converged,
+        eigenvalues=result.eigenvalues_float64(),
+        restarts=result.restarts,
+        matvecs=result.matvecs,
+    )
+    return result, record
+
+
+def run_matrix_experiment(
+    test_matrix: TestMatrix,
+    formats: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+) -> MatrixExperiment:
+    """Run the full per-matrix pipeline for every requested format."""
+    config = config or ExperimentConfig()
+    reference_result, reference_record = _reference_solve(test_matrix, config)
+    runs: list[RunRecord] = []
+
+    keep = min(config.eigenvalue_count, test_matrix.n)
+    ref_vals = np.asarray(reference_result.eigenvalues, dtype=np.float64)
+    ref_vecs = np.asarray(reference_result.eigenvectors, dtype=np.float64)
+
+    for format_name in formats:
+        record = RunRecord(
+            matrix=test_matrix.name,
+            group=test_matrix.group,
+            category=test_matrix.category,
+            format=format_name,
+            status="ok",
+        )
+        if not reference_record.converged:
+            record.status = "reference_failed"
+            runs.append(record)
+            continue
+        ctx = get_context(format_name, accumulation=config.accumulation)
+        converted, info = ctx.convert_matrix(test_matrix.matrix)
+        if info.range_exceeded:
+            # the paper's ∞σ marker: the matrix entries do not fit the format
+            record.status = "range_exceeded"
+            runs.append(record)
+            continue
+        result = partialschur(
+            converted,
+            nev=min(config.nev_total, test_matrix.n),
+            which=config.which,
+            tol=tolerance_for(format_name),
+            maxdim=config.maxdim,
+            restarts=config.restarts,
+            ctx=ctx,
+            seed=config.seed,
+            eps_floor=config.eps_floor,
+        )
+        record.restarts = result.restarts
+        record.matvecs = result.matvecs
+        record.solver_reason = result.reason
+        if not result.converged or result.nev == 0:
+            record.status = "no_convergence"
+            runs.append(record)
+            continue
+        try:
+            vals, vecs, _ = match_eigenpairs(
+                ref_vals,
+                ref_vecs,
+                result.eigenvalues_float64(),
+                result.eigenvectors_float64(),
+                keep=keep,
+            )
+        except ValueError:
+            record.status = "no_convergence"
+            runs.append(record)
+            continue
+        metrics: ErrorMetrics = error_metrics(
+            ref_vals[:keep], ref_vecs[:, :keep], vals, vecs
+        )
+        if not metrics.finite:
+            record.status = "no_convergence"
+            runs.append(record)
+            continue
+        record.eigenvalue_relative_error = metrics.eigenvalue_relative
+        record.eigenvector_relative_error = metrics.eigenvector_relative
+        record.eigenvalue_absolute_error = metrics.eigenvalue_absolute
+        record.eigenvector_absolute_error = metrics.eigenvector_absolute
+        runs.append(record)
+
+    return MatrixExperiment(matrix=test_matrix.name, reference=reference_record, runs=runs)
+
+
+@dataclasses.dataclass
+class _Task:
+    """Picklable work item for the parallel runner."""
+
+    test_matrix: TestMatrix
+    formats: tuple[str, ...]
+    config: ExperimentConfig
+
+
+def _run_task(task: _Task) -> MatrixExperiment:
+    return run_matrix_experiment(task.test_matrix, task.formats, task.config)
+
+
+def run_experiment(
+    suite: Iterable[TestMatrix],
+    formats: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Run the experiment pipeline over a suite of matrices.
+
+    Parameters
+    ----------
+    suite:
+        Test matrices (``repro.datasets``).
+    formats:
+        Format names to evaluate (e.g. ``("float16", "bfloat16", "posit16",
+        "takum16")``).
+    config:
+        Experiment configuration; defaults mirror the paper.
+    workers:
+        Worker processes; each worker handles whole matrices (reference solve
+        plus all formats) so reference solutions are never recomputed.
+    """
+    config = config or ExperimentConfig()
+    tasks = [_Task(tm, tuple(formats), config) for tm in suite]
+    experiments = parallel_map(_run_task, tasks, workers=workers)
+    records: list[RunRecord] = []
+    references: list[ReferenceRecord] = []
+    for experiment in experiments:
+        references.append(experiment.reference)
+        records.extend(experiment.runs)
+    return ExperimentResult(records=records, references=references, config=config)

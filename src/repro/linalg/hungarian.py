@@ -1,0 +1,93 @@
+"""Hungarian (Kuhn-Munkres) assignment algorithm.
+
+The experiments match computed eigenvectors to reference eigenvectors by
+maximising total absolute cosine similarity (Section 2.2 of the paper, which
+uses ``Hungarian.jl``).  This module provides an O(n^3) implementation based
+on shortest augmenting paths with dual potentials (the Jonker-Volgenant
+formulation of the Hungarian method).  Matching happens in float64 — it is a
+post-processing step, not part of the arithmetic under evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hungarian"]
+
+
+def hungarian(cost) -> tuple[np.ndarray, float]:
+    """Solve the linear assignment problem for a cost matrix.
+
+    Rows are assigned to distinct columns so that the total cost is minimal.
+
+    Parameters
+    ----------
+    cost:
+        ``(n, m)`` cost matrix with ``n <= m``; entries must be finite.
+
+    Returns
+    -------
+    (assignment, total_cost):
+        ``assignment[i]`` is the column assigned to row ``i``; ``total_cost``
+        is the sum of the selected entries.
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    if cost.ndim != 2:
+        raise ValueError("cost must be a 2-D matrix")
+    n, m = cost.shape
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), 0.0
+    if n > m:
+        raise ValueError("hungarian requires at least as many columns as rows")
+    if not np.all(np.isfinite(cost)):
+        raise ValueError("cost matrix must be finite")
+
+    # dual potentials and matching; index 0 is a virtual column used as the
+    # root of every augmenting-path search (1-based elsewhere)
+    u = np.zeros(n + 1)
+    v = np.zeros(m + 1)
+    match = np.zeros(m + 1, dtype=np.int64)  # match[j] = row matched to column j
+
+    for i in range(1, n + 1):
+        match[0] = i
+        j0 = 0
+        mins = np.full(m + 1, np.inf)
+        links = np.zeros(m + 1, dtype=np.int64)
+        visited = np.zeros(m + 1, dtype=bool)
+        while True:
+            visited[j0] = True
+            i0 = match[j0]
+            delta = np.inf
+            j1 = 0
+            reduced = cost[i0 - 1, :] - u[i0] - v[1:]
+            for j in range(1, m + 1):
+                if visited[j]:
+                    continue
+                cur = reduced[j - 1]
+                if cur < mins[j]:
+                    mins[j] = cur
+                    links[j] = j0
+                if mins[j] < delta:
+                    delta = mins[j]
+                    j1 = j
+            for j in range(m + 1):
+                if visited[j]:
+                    u[match[j]] += delta
+                    v[j] -= delta
+                else:
+                    mins[j] -= delta
+            j0 = j1
+            if match[j0] == 0:
+                break
+        # augment along the alternating path back to the root
+        while j0 != 0:
+            j1 = links[j0]
+            match[j0] = match[j1]
+            j0 = j1
+
+    assignment = np.full(n, -1, dtype=np.int64)
+    for j in range(1, m + 1):
+        if match[j] != 0:
+            assignment[match[j] - 1] = j - 1
+    total = float(cost[np.arange(n), assignment].sum())
+    return assignment, total

@@ -1,0 +1,41 @@
+"""Eigenvalue ordering rules for selecting wanted Ritz values.
+
+``partialschur`` accepts an ordering rule analogous to ``ArnoldiMethod.jl``:
+the experiments use ``"LM"`` (largest magnitude, i.e. the 10 largest
+eigenvalues of the symmetric matrices), but the other classical rules are
+provided for completeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WHICH_RULES", "ordering_key", "select_order"]
+
+#: supported ordering rules and their meaning
+WHICH_RULES: dict[str, str] = {
+    "LM": "largest magnitude",
+    "SM": "smallest magnitude",
+    "LR": "largest real part (largest algebraic for symmetric problems)",
+    "SR": "smallest real part (smallest algebraic for symmetric problems)",
+}
+
+
+def ordering_key(eigenvalues, which: str) -> np.ndarray:
+    """Sort key such that ascending order puts the *most wanted* value first."""
+    lam = np.asarray(eigenvalues, dtype=np.float64)
+    which = which.upper()
+    if which == "LM":
+        return -np.abs(lam)
+    if which == "SM":
+        return np.abs(lam)
+    if which == "LR":
+        return -lam
+    if which == "SR":
+        return lam
+    raise ValueError(f"unknown ordering rule {which!r}; supported: {sorted(WHICH_RULES)}")
+
+
+def select_order(eigenvalues, which: str = "LM") -> np.ndarray:
+    """Permutation putting the most wanted eigenvalues first (stable sort)."""
+    return np.argsort(ordering_key(eigenvalues, which), kind="stable")

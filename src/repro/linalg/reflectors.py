@@ -1,0 +1,120 @@
+"""Householder reflectors and Givens rotations in a compute context.
+
+Every arithmetic operation goes through the context so the kernels behave as
+if they were executed on hardware implementing the target format.  The
+routines operate on small dense matrices (the projected problems of the
+Krylov-Schur iteration) and therefore favour clarity over asymptotic
+performance; inner updates are still expressed as vectorised context calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "householder_vector",
+    "apply_reflector_left",
+    "apply_reflector_right",
+    "givens_rotation",
+    "apply_givens_left",
+    "apply_givens_right",
+]
+
+
+def householder_vector(ctx, x):
+    """Compute a Householder reflector annihilating ``x[1:]``.
+
+    Returns ``(v, beta, alpha)`` such that ``(I - beta v v^T) x = alpha e_1``
+    with ``|alpha| = ||x||``.  The sign of ``alpha`` is chosen opposite to
+    ``x[0]`` for numerical stability.  If ``x`` is (numerically) zero the
+    reflector is the identity (``beta = 0``).
+    """
+    x = np.asarray(x, dtype=ctx.dtype)
+    n = x.shape[0]
+    normx = ctx.norm2(x)
+    if not np.isfinite(normx) or float(normx) == 0.0:
+        v = np.zeros(n, dtype=ctx.dtype)
+        if n:
+            v[0] = 1.0
+        return v, ctx.dtype(0.0), ctx.dtype(0.0) if float(normx) == 0.0 else normx
+    # work with the normalised vector: the reflector is scale-invariant and
+    # the intermediate quantities stay O(1), which keeps 8-bit formats inside
+    # their dynamic range
+    xs = ctx.div(x, normx)
+    sign = -1.0 if float(x[0]) < 0 else 1.0
+    alpha = ctx.mul(ctx.dtype(-sign), normx)
+    v = xs.copy()
+    v[0] = ctx.sub(xs[0], ctx.dtype(-sign))
+    vnorm2 = ctx.dot(v, v)
+    if not np.isfinite(vnorm2) or float(vnorm2) == 0.0:
+        v = np.zeros(n, dtype=ctx.dtype)
+        if n:
+            v[0] = 1.0
+        return v, ctx.dtype(0.0), alpha
+    beta = ctx.div(ctx.dtype(2.0), vnorm2)
+    if not np.isfinite(beta):
+        v = np.zeros(n, dtype=ctx.dtype)
+        if n:
+            v[0] = 1.0
+        return v, ctx.dtype(0.0), alpha
+    return v, beta, alpha
+
+
+def apply_reflector_left(ctx, v, beta, A):
+    """Apply ``(I - beta v v^T)`` from the left: ``A <- A - beta v (v^T A)``."""
+    A = np.asarray(A, dtype=ctx.dtype)
+    if float(beta) == 0.0:
+        return A.copy()
+    w = ctx.gemv_t(A, v)  # v^T A
+    update = ctx.mul(ctx.mul(beta, v)[:, np.newaxis], w[np.newaxis, :])
+    return ctx.sub(A, update)
+
+
+def apply_reflector_right(ctx, A, v, beta):
+    """Apply ``(I - beta v v^T)`` from the right: ``A <- A - beta (A v) v^T``."""
+    A = np.asarray(A, dtype=ctx.dtype)
+    if float(beta) == 0.0:
+        return A.copy()
+    w = ctx.gemv(A, v)  # A v
+    update = ctx.mul(w[:, np.newaxis], ctx.mul(beta, v)[np.newaxis, :])
+    return ctx.sub(A, update)
+
+
+def givens_rotation(ctx, a, b):
+    """Compute ``(c, s, r)`` with ``c*a + s*b = r`` and ``-s*a + c*b = 0``.
+
+    The rotation is normalised so that ``c^2 + s^2 = 1`` up to rounding in the
+    target arithmetic.
+    """
+    a = ctx.dtype(a)
+    b = ctx.dtype(b)
+    if float(b) == 0.0:
+        return ctx.dtype(1.0), ctx.dtype(0.0), a
+    if float(a) == 0.0:
+        return ctx.dtype(0.0), ctx.dtype(1.0), b
+    r = ctx.hypot(a, b)
+    if not np.isfinite(r) or float(r) == 0.0:
+        return ctx.dtype(1.0), ctx.dtype(0.0), a
+    c = ctx.div(a, r)
+    s = ctx.div(b, r)
+    return c, s, r
+
+
+def apply_givens_left(ctx, c, s, A, i, j):
+    """Rotate rows ``i`` and ``j`` of ``A`` in place-semantics (returns copy)."""
+    A = np.array(A, dtype=ctx.dtype, copy=True)
+    row_i = A[i, :].copy()
+    row_j = A[j, :].copy()
+    A[i, :] = ctx.add(ctx.mul(c, row_i), ctx.mul(s, row_j))
+    A[j, :] = ctx.sub(ctx.mul(c, row_j), ctx.mul(s, row_i))
+    return A
+
+
+def apply_givens_right(ctx, c, s, A, i, j):
+    """Rotate columns ``i`` and ``j`` of ``A`` (returns a new array)."""
+    A = np.array(A, dtype=ctx.dtype, copy=True)
+    col_i = A[:, i].copy()
+    col_j = A[:, j].copy()
+    A[:, i] = ctx.add(ctx.mul(c, col_i), ctx.mul(s, col_j))
+    A[:, j] = ctx.sub(ctx.mul(c, col_j), ctx.mul(s, col_i))
+    return A

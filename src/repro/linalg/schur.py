@@ -1,0 +1,227 @@
+"""Hessenberg reduction and real Schur decomposition (Francis QR).
+
+The default solver path for the paper's symmetric matrices uses the spectral
+decomposition in :mod:`repro.linalg.tridiagonal`; the general-purpose kernels
+here complete the dense-linear-algebra substrate so the library can also
+factorise non-symmetric projected matrices (as ``ArnoldiMethod.jl`` does) and
+serve as an independent cross-check in the test-suite.
+
+All operations run through a compute context, so the decomposition can be
+carried out in any of the emulated arithmetics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .reflectors import (
+    apply_reflector_left,
+    apply_reflector_right,
+    givens_rotation,
+    householder_vector,
+)
+from .tridiagonal import EigenConvergenceError
+
+__all__ = ["hessenberg", "real_schur", "schur_eigenvalues"]
+
+
+def hessenberg(ctx, A):
+    """Reduce ``A`` to upper Hessenberg form by Householder reflections.
+
+    Returns ``(H, Q)`` with ``Q^T A Q = H`` (numerically) upper Hessenberg
+    and ``Q`` orthogonal.
+    """
+    A = np.array(np.asarray(A, dtype=ctx.dtype), copy=True)
+    n = A.shape[0]
+    if A.shape[0] != A.shape[1]:
+        raise ValueError("hessenberg requires a square matrix")
+    Q = np.eye(n, dtype=ctx.dtype)
+    for k in range(n - 2):
+        x = A[k + 1 :, k]
+        v_small, beta, _ = householder_vector(ctx, x)
+        if float(beta) == 0.0:
+            continue
+        v = np.zeros(n, dtype=ctx.dtype)
+        v[k + 1 :] = v_small
+        A = apply_reflector_left(ctx, v, beta, A)
+        A = apply_reflector_right(ctx, A, v, beta)
+        Q = apply_reflector_right(ctx, Q, v, beta)
+    # zero the entries below the first subdiagonal explicitly
+    for i in range(2, n):
+        A[i, : i - 1] = 0.0
+    return A, Q
+
+
+def _split_2x2(ctx, T, Z, p):
+    """Try to rotate the 2x2 block at ``p-1:p+1`` into triangular form.
+
+    Real-eigenvalue blocks are split; complex-conjugate blocks are left as
+    standard 2x2 Schur bumps.  Returns True if the block was split.
+    """
+    a = T[p - 1, p - 1]
+    b = T[p - 1, p]
+    c = T[p, p - 1]
+    d = T[p, p]
+    # eigenvalues of [[a, b], [c, d]]
+    tr_half = 0.5 * (float(a) + float(d))
+    det = float(a) * float(d) - float(b) * float(c)
+    disc = tr_half * tr_half - det
+    if disc < 0:
+        return False
+    lam = tr_half + np.copysign(np.sqrt(disc), tr_half)
+    if lam == 0.0:
+        lam = tr_half - np.sqrt(disc)
+    # rotation sending (a - lam, c) to (r, 0)
+    cos, sin, _ = givens_rotation(ctx, ctx.sub(a, ctx.dtype(lam)), c)
+    rows = slice(p - 1, p + 1)
+    # apply G^T from the left and G from the right on full rows/columns
+    row_i = T[p - 1, :].copy()
+    row_j = T[p, :].copy()
+    T[p - 1, :] = ctx.add(ctx.mul(cos, row_i), ctx.mul(sin, row_j))
+    T[p, :] = ctx.sub(ctx.mul(cos, row_j), ctx.mul(sin, row_i))
+    col_i = T[:, p - 1].copy()
+    col_j = T[:, p].copy()
+    T[:, p - 1] = ctx.add(ctx.mul(cos, col_i), ctx.mul(sin, col_j))
+    T[:, p] = ctx.sub(ctx.mul(cos, col_j), ctx.mul(sin, col_i))
+    zcol_i = Z[:, p - 1].copy()
+    zcol_j = Z[:, p].copy()
+    Z[:, p - 1] = ctx.add(ctx.mul(cos, zcol_i), ctx.mul(sin, zcol_j))
+    Z[:, p] = ctx.sub(ctx.mul(cos, zcol_j), ctx.mul(sin, zcol_i))
+    T[p, p - 1] = 0.0
+    del rows
+    return True
+
+
+def real_schur(ctx, A, max_iterations: int | None = None):
+    """Real Schur decomposition ``Q^T A Q = T`` via Francis double-shift QR.
+
+    ``T`` is quasi-upper-triangular: 1x1 blocks for real eigenvalues and 2x2
+    blocks for complex-conjugate pairs.  Raises
+    :class:`~repro.linalg.tridiagonal.EigenConvergenceError` when the
+    iteration does not deflate within the iteration budget (common in 8-bit
+    arithmetics).
+    """
+    H, Q = hessenberg(ctx, A)
+    n = H.shape[0]
+    if n <= 1:
+        return H, Q
+    T = H
+    Z = Q
+    if max_iterations is None:
+        max_iterations = 40 * n
+    eps = float(ctx.machine_epsilon)
+    high = n - 1
+    total_iter = 0
+    stagnation = 0
+    while high > 0:
+        if not np.all(np.isfinite(T)):
+            raise EigenConvergenceError("non-finite values during QR iteration")
+        # deflate negligible subdiagonals
+        for i in range(1, high + 1):
+            if abs(float(T[i, i - 1])) <= eps * (
+                abs(float(T[i - 1, i - 1])) + abs(float(T[i, i]))
+            ):
+                T[i, i - 1] = 0.0
+        # find the active block [low..high]
+        low = high
+        while low > 0 and float(T[low, low - 1]) != 0.0:
+            low -= 1
+        if low == high:
+            high -= 1
+            stagnation = 0
+            continue
+        if low == high - 1:
+            _split_2x2(ctx, T, Z, high)
+            high -= 2
+            stagnation = 0
+            continue
+        total_iter += 1
+        stagnation += 1
+        if total_iter > max_iterations:
+            raise EigenConvergenceError(
+                f"QR iteration exceeded {max_iterations} steps in {ctx.name}"
+            )
+        # double shift from the trailing 2x2 block (exceptional shift when
+        # progress stalls)
+        if stagnation % 12 == 0:
+            s = abs(float(T[high, high - 1])) + abs(float(T[high - 1, high - 2]))
+            trace = ctx.dtype(1.5 * s)
+            det = ctx.dtype(s * s)
+        else:
+            trace = ctx.add(T[high - 1, high - 1], T[high, high])
+            det = ctx.sub(
+                ctx.mul(T[high - 1, high - 1], T[high, high]),
+                ctx.mul(T[high - 1, high], T[high, high - 1]),
+            )
+        # first column of (T - s1 I)(T - s2 I)
+        x = ctx.add(
+            ctx.sub(
+                ctx.mul(T[low, low], T[low, low]),
+                ctx.mul(trace, T[low, low]),
+            ),
+            ctx.add(det, ctx.mul(T[low, low + 1], T[low + 1, low])),
+        )
+        y = ctx.mul(
+            T[low + 1, low],
+            ctx.sub(ctx.add(T[low, low], T[low + 1, low + 1]), trace),
+        )
+        z = ctx.mul(T[low + 2, low + 1], T[low + 1, low]) if low + 2 <= high else ctx.dtype(0.0)
+        # bulge chasing
+        for k in range(low, high - 1):
+            vec = np.array([x, y, z], dtype=ctx.dtype)
+            v_small, beta, _ = householder_vector(ctx, vec)
+            if float(beta) != 0.0:
+                v = np.zeros(n, dtype=ctx.dtype)
+                upto = min(k + 3, high + 1)
+                v[k : upto] = v_small[: upto - k]
+                T = apply_reflector_left(ctx, v, beta, T)
+                T = apply_reflector_right(ctx, T, v, beta)
+                Z = apply_reflector_right(ctx, Z, v, beta)
+            x = T[k + 1, k]
+            y = T[k + 2, k] if k + 2 <= high else ctx.dtype(0.0)
+            z = T[k + 3, k] if k + 3 <= high else ctx.dtype(0.0)
+        # final 2-element reflector
+        vec = np.array([x, y], dtype=ctx.dtype)
+        v_small, beta, _ = householder_vector(ctx, vec)
+        if float(beta) != 0.0:
+            v = np.zeros(n, dtype=ctx.dtype)
+            v[high - 1 : high + 1] = v_small
+            T = apply_reflector_left(ctx, v, beta, T)
+            T = apply_reflector_right(ctx, T, v, beta)
+            Z = apply_reflector_right(ctx, Z, v, beta)
+        # clean entries below the first subdiagonal of the active block
+        for i in range(low + 2, high + 1):
+            T[i, : i - 1] = 0.0
+    # final pass: split any remaining real-eigenvalue 2x2 blocks
+    for p in range(n - 1, 0, -1):
+        if float(T[p, p - 1]) != 0.0:
+            _split_2x2(ctx, T, Z, p)
+    return T, Z
+
+
+def schur_eigenvalues(T) -> np.ndarray:
+    """Eigenvalues of a quasi-upper-triangular matrix (complex array)."""
+    T = np.asarray(T, dtype=np.float64)
+    n = T.shape[0]
+    eigs = np.zeros(n, dtype=np.complex128)
+    i = 0
+    while i < n:
+        if i + 1 < n and T[i + 1, i] != 0.0:
+            a, b = T[i, i], T[i, i + 1]
+            c, d = T[i + 1, i], T[i + 1, i + 1]
+            tr_half = 0.5 * (a + d)
+            det = a * d - b * c
+            disc = tr_half * tr_half - det
+            if disc >= 0:
+                root = np.sqrt(disc)
+                eigs[i] = tr_half + root
+                eigs[i + 1] = tr_half - root
+            else:
+                root = np.sqrt(-disc)
+                eigs[i] = tr_half + 1j * root
+                eigs[i + 1] = tr_half - 1j * root
+            i += 2
+        else:
+            eigs[i] = T[i, i]
+            i += 1
+    return eigs

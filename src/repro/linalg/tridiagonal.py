@@ -1,0 +1,187 @@
+"""Symmetric eigenvalue decomposition in a compute context.
+
+The projected matrices of the Krylov-Schur iteration are symmetric (the study
+restricts itself to symmetric inputs, for which the partial Schur form is a
+spectral decomposition).  Their eigendecomposition is computed LAPACK-free so
+that it can run in any emulated arithmetic:
+
+1. Householder tridiagonalisation ``Q0^T A Q0 = T`` (:func:`tridiagonalize`),
+2. implicit-shift QL iteration with eigenvector accumulation
+   (:func:`tridiagonal_eigen`), following the classic EISPACK ``tql2``
+   algorithm.
+
+In very low precision the QL iteration may fail to deflate; this is reported
+as :class:`EigenConvergenceError` and surfaces as the paper's ∞ω
+(no-convergence) marker in the experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .reflectors import apply_reflector_left, apply_reflector_right, householder_vector
+
+__all__ = [
+    "EigenConvergenceError",
+    "tridiagonalize",
+    "tridiagonal_eigen",
+    "symmetric_eigen",
+]
+
+
+class EigenConvergenceError(RuntimeError):
+    """The iterative eigensolver failed to converge in the target arithmetic."""
+
+
+def tridiagonalize(ctx, A):
+    """Householder tridiagonalisation of a symmetric matrix.
+
+    Returns ``(d, e, Q)`` with ``Q^T A Q`` (numerically) tridiagonal, ``d``
+    its diagonal, ``e`` its subdiagonal (length ``n - 1``) and ``Q``
+    orthogonal.  All operations are carried out in the context arithmetic.
+    """
+    A = np.array(np.asarray(A, dtype=ctx.dtype), copy=True)
+    n = A.shape[0]
+    if A.shape[0] != A.shape[1]:
+        raise ValueError("tridiagonalize requires a square matrix")
+    Q = np.eye(n, dtype=ctx.dtype)
+    for k in range(n - 2):
+        x = A[k + 1 :, k]
+        v_small, beta, _ = householder_vector(ctx, x)
+        if float(beta) == 0.0:
+            continue
+        v = np.zeros(n, dtype=ctx.dtype)
+        v[k + 1 :] = v_small
+        A = apply_reflector_left(ctx, v, beta, A)
+        A = apply_reflector_right(ctx, A, v, beta)
+        Q = apply_reflector_right(ctx, Q, v, beta)
+    d = np.array([A[i, i] for i in range(n)], dtype=ctx.dtype)
+    e = np.array([A[i + 1, i] for i in range(n - 1)], dtype=ctx.dtype)
+    return d, e, Q
+
+
+def tridiagonal_eigen(ctx, d, e, Z=None, max_sweeps: int = 60):
+    """Implicit-shift QL iteration for a symmetric tridiagonal matrix.
+
+    Parameters
+    ----------
+    ctx:
+        Compute context providing the arithmetic.
+    d, e:
+        Diagonal (length ``n``) and subdiagonal (length ``n - 1``).
+    Z:
+        Matrix whose columns are rotated along with the iteration; pass the
+        orthogonal factor of :func:`tridiagonalize` to obtain eigenvectors of
+        the original matrix, or ``None`` for the identity.
+    max_sweeps:
+        Maximum number of QL sweeps per eigenvalue before giving up.
+
+    Returns
+    -------
+    (w, Z):
+        Eigenvalues (in the order produced by the iteration) and the matrix
+        whose columns are the corresponding eigenvectors.
+
+    Raises
+    ------
+    EigenConvergenceError
+        If a sweep budget is exhausted or non-finite values appear (both are
+        common failure modes of 8-bit arithmetic).
+    """
+    d = np.array(np.asarray(d, dtype=ctx.dtype), copy=True)
+    n = d.shape[0]
+    e_full = np.zeros(n, dtype=ctx.dtype)
+    if n > 1:
+        e_full[: n - 1] = np.asarray(e, dtype=ctx.dtype)[: n - 1]
+    if Z is None:
+        Z = np.eye(n, dtype=ctx.dtype)
+    else:
+        Z = np.array(np.asarray(Z, dtype=ctx.dtype), copy=True)
+    if n == 0:
+        return d, Z
+    eps = ctx.dtype(ctx.machine_epsilon)
+    one = ctx.dtype(1.0)
+    two = ctx.dtype(2.0)
+
+    for l in range(n):
+        sweeps = 0
+        while True:
+            if not (np.all(np.isfinite(d)) and np.all(np.isfinite(e_full))):
+                raise EigenConvergenceError(
+                    "non-finite values during QL iteration"
+                )
+            m = l
+            while m < n - 1:
+                dd = abs(float(d[m])) + abs(float(d[m + 1]))
+                if abs(float(e_full[m])) <= float(eps) * dd:
+                    break
+                m += 1
+            if m == l:
+                break
+            sweeps += 1
+            if sweeps > max_sweeps:
+                raise EigenConvergenceError(
+                    f"QL iteration did not deflate eigenvalue {l} within "
+                    f"{max_sweeps} sweeps in {ctx.name}"
+                )
+            # Wilkinson-like shift
+            g = ctx.div(ctx.sub(d[l + 1], d[l]), ctx.mul(two, e_full[l]))
+            r = ctx.hypot(g, one)
+            denom = ctx.add(g, np.copysign(r, g))
+            if float(denom) == 0.0 or not np.isfinite(denom):
+                denom = np.copysign(ctx.dtype(max(float(eps), 1e-30)), g)
+            g = ctx.add(ctx.sub(d[m], d[l]), ctx.div(e_full[l], denom))
+            s = one
+            c = one
+            p = ctx.dtype(0.0)
+            restart = False
+            for i in range(m - 1, l - 1, -1):
+                f = ctx.mul(s, e_full[i])
+                b = ctx.mul(c, e_full[i])
+                r = ctx.hypot(f, g)
+                e_full[i + 1] = r
+                if float(r) == 0.0:
+                    d[i + 1] = ctx.sub(d[i + 1], p)
+                    e_full[m] = ctx.dtype(0.0)
+                    restart = True
+                    break
+                s = ctx.div(f, r)
+                c = ctx.div(g, r)
+                g = ctx.sub(d[i + 1], p)
+                r = ctx.add(
+                    ctx.mul(ctx.sub(d[i], g), s), ctx.mul(ctx.mul(two, c), b)
+                )
+                p = ctx.mul(s, r)
+                d[i + 1] = ctx.add(g, p)
+                g = ctx.sub(ctx.mul(c, r), b)
+                zi = Z[:, i].copy()
+                zi1 = Z[:, i + 1].copy()
+                Z[:, i + 1] = ctx.add(ctx.mul(s, zi), ctx.mul(c, zi1))
+                Z[:, i] = ctx.sub(ctx.mul(c, zi), ctx.mul(s, zi1))
+            if restart:
+                continue
+            d[l] = ctx.sub(d[l], p)
+            e_full[l] = g
+            e_full[m] = ctx.dtype(0.0)
+    return d, Z
+
+
+def symmetric_eigen(ctx, A, max_sweeps: int = 60):
+    """Spectral decomposition of a symmetric matrix in the context arithmetic.
+
+    The matrix is symmetrised (``(A + A^T) / 2`` with rounded operations, as
+    the projected Arnoldi matrix is only symmetric up to rounding), reduced to
+    tridiagonal form and diagonalised with the implicit QL iteration.
+
+    Returns ``(w, V)`` with ``A @ V[:, j] ≈ w[j] * V[:, j]``.
+    """
+    A = np.asarray(A, dtype=ctx.dtype)
+    if A.shape[0] != A.shape[1]:
+        raise ValueError("symmetric_eigen requires a square matrix")
+    if A.shape[0] == 0:
+        return np.zeros(0, dtype=ctx.dtype), np.zeros((0, 0), dtype=ctx.dtype)
+    if A.shape[0] == 1:
+        return A[0, :1].copy(), np.ones((1, 1), dtype=ctx.dtype)
+    sym = ctx.mul(ctx.dtype(0.5), ctx.add(A, A.T))
+    d, e, Q = tridiagonalize(ctx, sym)
+    return tridiagonal_eigen(ctx, d, e, Z=Q, max_sweeps=max_sweeps)

@@ -1,0 +1,38 @@
+"""Sparse-matrix substrate: COO/CSR storage, I/O and Laplacian preparation.
+
+The paper operates on sparse symmetric matrices from the SuiteSparse Matrix
+Collection and on symmetrically normalised graph Laplacians built from
+Network-Repository edge lists / Matrix-Market files.  This subpackage
+provides the storage formats, readers/writers and the Laplacian construction
+pipeline used by :mod:`repro.datasets` and :mod:`repro.experiments`.
+"""
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .io import (
+    read_matrix_market,
+    write_matrix_market,
+    read_edge_list,
+    write_edge_list,
+)
+from .laplacian import (
+    average_symmetrize,
+    degrees,
+    ensure_square,
+    normalized_laplacian,
+    laplacian_from_adjacency,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_edge_list",
+    "write_edge_list",
+    "average_symmetrize",
+    "degrees",
+    "ensure_square",
+    "normalized_laplacian",
+    "laplacian_from_adjacency",
+]

@@ -1,0 +1,82 @@
+"""Coordinate-format (COO) sparse matrices.
+
+COO is the natural assembly format: triplets ``(row, col, value)`` in any
+order, possibly with duplicates (which are summed on conversion).  It is used
+when parsing Matrix-Market files and edge lists and when building synthetic
+matrices; computation happens on the CSR form (:mod:`repro.sparse.csr`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """Sparse matrix in coordinate (triplet) format.
+
+    Parameters
+    ----------
+    rows, cols:
+        Integer index arrays of equal length.
+    values:
+        Entry values, same length as the index arrays.
+    shape:
+        Matrix shape; inferred from the largest indices when omitted.
+    """
+
+    def __init__(self, rows, cols, values, shape=None):
+        self.rows = np.asarray(rows, dtype=np.int64).ravel()
+        self.cols = np.asarray(cols, dtype=np.int64).ravel()
+        self.values = np.asarray(values).ravel()
+        if not (self.rows.size == self.cols.size == self.values.size):
+            raise ValueError("rows, cols and values must have the same length")
+        if shape is None:
+            nrows = int(self.rows.max()) + 1 if self.rows.size else 0
+            ncols = int(self.cols.max()) + 1 if self.cols.size else 0
+            shape = (nrows, ncols)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.rows.size:
+            if self.rows.min() < 0 or self.cols.min() < 0:
+                raise ValueError("negative indices are not allowed")
+            if self.rows.max() >= self.shape[0] or self.cols.max() >= self.shape[1]:
+                raise ValueError("index exceeds matrix shape")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (before duplicate summation)."""
+        return int(self.values.size)
+
+    def transpose(self) -> "COOMatrix":
+        """Transpose (swaps row and column indices)."""
+        return COOMatrix(self.cols, self.rows, self.values, (self.shape[1], self.shape[0]))
+
+    @property
+    def T(self) -> "COOMatrix":
+        return self.transpose()
+
+    def tocsr(self):
+        """Convert to CSR, summing duplicate entries and dropping explicit
+        zeros produced by the summation."""
+        from .csr import CSRMatrix
+
+        return CSRMatrix.from_coo(self)
+
+    def todense(self) -> np.ndarray:
+        """Dense ``numpy.ndarray`` with duplicates summed."""
+        out = np.zeros(self.shape, dtype=np.result_type(self.values, np.float64))
+        np.add.at(out, (self.rows, self.cols), self.values)
+        return out
+
+    @classmethod
+    def from_dense(cls, dense, tol: float = 0.0) -> "COOMatrix":
+        """Build a COO matrix from a dense array, keeping entries with
+        ``abs(value) > tol``."""
+        dense = np.asarray(dense)
+        rows, cols = np.nonzero(np.abs(dense) > tol)
+        return cls(rows, cols, dense[rows, cols], dense.shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<COOMatrix {self.shape[0]}x{self.shape[1]} nnz={self.nnz}>"

@@ -1,0 +1,239 @@
+"""Compressed sparse row (CSR) matrices.
+
+This is the computational sparse format of the library: the Arnoldi solver
+only needs matrix-vector products, which the compute contexts implement with
+per-operation rounding on the CSR arrays (:meth:`repro.arithmetic.context
+.ComputeContext.spmv`).  The class intentionally supports just the operations
+the study requires (matvec, symmetry checks, scaling, conversion, slicing of
+diagonals) rather than a full sparse-algebra suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """Sparse matrix in compressed-sparse-row format.
+
+    Attributes
+    ----------
+    data:
+        Non-zero values, row by row.
+    indices:
+        Column index of every stored value.
+    indptr:
+        Row pointer of length ``nrows + 1``.
+    shape:
+        ``(nrows, ncols)``.
+    """
+
+    def __init__(self, data, indices, indptr, shape):
+        self.data = np.asarray(data)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.indptr.size != self.shape[0] + 1:
+            raise ValueError("indptr length must be nrows + 1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.data.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.data.size != self.indices.size:
+            raise ValueError("data and indices must have the same length")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[1]
+        ):
+            raise ValueError("column index out of range")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(cls, coo) -> "CSRMatrix":
+        """Build from a :class:`~repro.sparse.coo.COOMatrix`, summing
+        duplicates and dropping entries that cancel to exactly zero."""
+        nrows, ncols = coo.shape
+        if coo.nnz == 0:
+            return cls(
+                np.zeros(0, dtype=np.float64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(nrows + 1, dtype=np.int64),
+                coo.shape,
+            )
+        order = np.lexsort((coo.cols, coo.rows))
+        rows = coo.rows[order]
+        cols = coo.cols[order]
+        vals = np.asarray(coo.values, dtype=np.float64)[order]
+        # collapse duplicates
+        new_group = np.concatenate(
+            ([True], (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1]))
+        )
+        group_id = np.cumsum(new_group) - 1
+        ngroups = int(group_id[-1]) + 1
+        summed = np.zeros(ngroups, dtype=np.float64)
+        np.add.at(summed, group_id, vals)
+        grows = rows[new_group]
+        gcols = cols[new_group]
+        keep = summed != 0.0
+        grows, gcols, summed = grows[keep], gcols[keep], summed[keep]
+        counts = np.bincount(grows, minlength=nrows)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        return cls(summed, gcols, indptr, coo.shape)
+
+    @classmethod
+    def from_dense(cls, dense, tol: float = 0.0) -> "CSRMatrix":
+        """Build from a dense array, keeping entries with magnitude > tol."""
+        from .coo import COOMatrix
+
+        return COOMatrix.from_dense(dense, tol=tol).tocsr()
+
+    @classmethod
+    def identity(cls, n: int, value: float = 1.0) -> "CSRMatrix":
+        """``value`` times the identity matrix of order ``n``."""
+        return cls(
+            np.full(n, value, dtype=np.float64),
+            np.arange(n, dtype=np.int64),
+            np.arange(n + 1, dtype=np.int64),
+            (n, n),
+        )
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def with_data(self, data) -> "CSRMatrix":
+        """Copy of the matrix with the same pattern but new values (used by
+        the compute contexts to convert a matrix into a target format)."""
+        data = np.asarray(data)
+        if data.shape != self.data.shape:
+            raise ValueError("replacement data must match the sparsity pattern")
+        return CSRMatrix(data, self.indices.copy(), self.indptr.copy(), self.shape)
+
+    def copy(self) -> "CSRMatrix":
+        return CSRMatrix(
+            self.data.copy(), self.indices.copy(), self.indptr.copy(), self.shape
+        )
+
+    # ------------------------------------------------------------------ #
+    # computation
+    # ------------------------------------------------------------------ #
+    def matvec(self, x) -> np.ndarray:
+        """Exact (work-precision) matrix-vector product ``A @ x``."""
+        x = np.asarray(x)
+        out = np.zeros(self.shape[0], dtype=np.result_type(self.data, x))
+        if self.nnz == 0:
+            return out
+        prods = self.data * x[self.indices]
+        np.add.at(out, np.repeat(np.arange(self.shape[0]), np.diff(self.indptr)), prods)
+        return out
+
+    def __matmul__(self, x):
+        return self.matvec(x)
+
+    def diagonal(self) -> np.ndarray:
+        """Main diagonal as a dense vector."""
+        n = min(self.shape)
+        diag = np.zeros(n, dtype=self.data.dtype if self.nnz else np.float64)
+        for i in range(n):
+            start, stop = self.indptr[i], self.indptr[i + 1]
+            cols = self.indices[start:stop]
+            hit = np.nonzero(cols == i)[0]
+            if hit.size:
+                diag[i] = self.data[start + hit[0]]
+        return diag
+
+    def row_sums(self) -> np.ndarray:
+        """Vector of row sums."""
+        out = np.zeros(self.shape[0], dtype=np.float64)
+        if self.nnz == 0:
+            return out
+        np.add.at(
+            out, np.repeat(np.arange(self.shape[0]), np.diff(self.indptr)), self.data
+        )
+        return out
+
+    def scale(self, alpha: float) -> "CSRMatrix":
+        """Matrix scaled by a scalar."""
+        return self.with_data(self.data * alpha)
+
+    def transpose(self) -> "CSRMatrix":
+        """Transposed matrix (returns a new CSR)."""
+        from .coo import COOMatrix
+
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return COOMatrix(
+            self.indices, rows, self.data, (self.shape[1], self.shape[0])
+        ).tocsr()
+
+    @property
+    def T(self) -> "CSRMatrix":
+        return self.transpose()
+
+    def todense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.result_type(self.data, np.float64))
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        out[rows, self.indices] = self.data
+        return out
+
+    def tocoo(self):
+        from .coo import COOMatrix
+
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return COOMatrix(rows, self.indices.copy(), self.data.copy(), self.shape)
+
+    def toscipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (used for cross-checks)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (np.asarray(self.data, dtype=np.float64), self.indices, self.indptr),
+            shape=self.shape,
+        )
+
+    # ------------------------------------------------------------------ #
+    # structure checks
+    # ------------------------------------------------------------------ #
+    def is_symmetric(self, tol: float = 0.0) -> bool:
+        """Whether the matrix equals its transpose up to ``tol``."""
+        if self.shape[0] != self.shape[1]:
+            return False
+        t = self.transpose()
+        if not np.array_equal(t.indptr, self.indptr) or not np.array_equal(
+            t.indices, self.indices
+        ):
+            # patterns differ: compare densified only for small matrices,
+            # otherwise report asymmetric
+            if self.shape[0] <= 2048:
+                return bool(
+                    np.allclose(self.todense(), self.todense().T, atol=tol, rtol=0)
+                )
+            return False
+        return bool(np.allclose(t.data, self.data, atol=tol, rtol=0))
+
+    def max_abs(self) -> float:
+        """Largest entry magnitude (0 for an empty matrix)."""
+        return float(np.abs(self.data).max()) if self.nnz else 0.0
+
+    def min_abs_nonzero(self) -> float:
+        """Smallest non-zero entry magnitude (0 for an empty matrix)."""
+        if self.nnz == 0:
+            return 0.0
+        nz = np.abs(self.data[self.data != 0])
+        return float(nz.min()) if nz.size else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<CSRMatrix {self.shape[0]}x{self.shape[1]} nnz={self.nnz}>"

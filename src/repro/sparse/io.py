@@ -1,0 +1,170 @@
+"""Matrix-Market and edge-list I/O.
+
+The Network Repository distributes graphs either as Matrix-Market files
+(``.mtx``) or as whitespace-separated edge lists (``.edges``), both with
+formatting quirks (comment styles, optional weights, 0- or 1-based indices,
+header lines that do not match the actual dimensions).  The readers below
+follow the cleanup rules described in Section 2.1 of the paper: tolerant
+parsing, symmetric expansion of ``symmetric`` Matrix-Market files, and
+best-effort recovery from malformed headers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = [
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_edge_list",
+    "write_edge_list",
+]
+
+
+def _open_lines(path_or_lines) -> Iterable[str]:
+    if isinstance(path_or_lines, (str, os.PathLike)):
+        with open(path_or_lines, "r", encoding="utf-8", errors="replace") as handle:
+            yield from handle
+    else:
+        yield from path_or_lines
+
+
+def read_matrix_market(path_or_lines) -> CSRMatrix:
+    """Parse a Matrix-Market coordinate file into a CSR matrix.
+
+    Supports the ``real``, ``integer`` and ``pattern`` field types and the
+    ``general`` and ``symmetric`` symmetry qualifiers.  ``pattern`` entries
+    get the value 1.  Symmetric storage is expanded to both triangles.
+    """
+    lines = iter(_open_lines(path_or_lines))
+    header = next(lines, "")
+    if not header.startswith("%%MatrixMarket"):
+        raise ValueError("not a MatrixMarket file (missing %%MatrixMarket header)")
+    tokens = header.strip().split()
+    fmt = tokens[2].lower() if len(tokens) > 2 else "coordinate"
+    field = tokens[3].lower() if len(tokens) > 3 else "real"
+    symmetry = tokens[4].lower() if len(tokens) > 4 else "general"
+    if fmt != "coordinate":
+        raise ValueError(f"unsupported MatrixMarket format {fmt!r} (only coordinate)")
+    if field == "complex":
+        raise ValueError("complex matrices are not supported")
+
+    size_line = None
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        size_line = stripped
+        break
+    if size_line is None:
+        raise ValueError("missing size line")
+    parts = size_line.split()
+    if len(parts) < 3:
+        raise ValueError(f"malformed size line: {size_line!r}")
+    nrows, ncols = int(float(parts[0])), int(float(parts[1]))
+
+    rows, cols, vals = [], [], []
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        entry = stripped.split()
+        r = int(float(entry[0])) - 1
+        c = int(float(entry[1])) - 1
+        if field == "pattern" or len(entry) < 3:
+            v = 1.0
+        else:
+            v = float(entry[2])
+        rows.append(r)
+        cols.append(c)
+        vals.append(v)
+        if symmetry in ("symmetric", "skew-symmetric", "hermitian") and r != c:
+            rows.append(c)
+            cols.append(r)
+            vals.append(-v if symmetry == "skew-symmetric" else v)
+
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    # best-effort recovery from malformed headers that understate dimensions
+    if rows.size:
+        nrows = max(nrows, int(rows.max()) + 1)
+        ncols = max(ncols, int(cols.max()) + 1)
+    return COOMatrix(rows, cols, np.asarray(vals), (nrows, ncols)).tocsr()
+
+
+def write_matrix_market(path, matrix: CSRMatrix, comment: str | None = None) -> None:
+    """Write a CSR matrix as a general real coordinate Matrix-Market file."""
+    coo = matrix.tocoo()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"% {line}\n")
+        handle.write(f"{matrix.shape[0]} {matrix.shape[1]} {coo.nnz}\n")
+        for r, c, v in zip(coo.rows, coo.cols, coo.values):
+            handle.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")
+
+
+def read_edge_list(path_or_lines, num_vertices: int | None = None) -> CSRMatrix:
+    """Parse a whitespace/comma-separated edge list into an adjacency matrix.
+
+    Each non-comment line holds ``u v`` or ``u v w``; indices may be 0- or
+    1-based (detected from the minimum index).  Repeated edges accumulate
+    their weights.  The adjacency matrix is returned as written in the file
+    (directed); symmetrisation happens in the Laplacian pipeline.
+    """
+    us, vs, ws = [], [], []
+    for line in _open_lines(path_or_lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("%", "#", "//")):
+            continue
+        parts = stripped.replace(",", " ").split()
+        if len(parts) < 2:
+            continue
+        try:
+            u = int(float(parts[0]))
+            v = int(float(parts[1]))
+        except ValueError:
+            continue
+        w = 1.0
+        if len(parts) >= 3:
+            try:
+                w = float(parts[2])
+            except ValueError:
+                w = 1.0
+        us.append(u)
+        vs.append(v)
+        ws.append(w)
+    if not us:
+        n = num_vertices or 0
+        return CSRMatrix(
+            np.zeros(0), np.zeros(0, dtype=np.int64), np.zeros(n + 1, dtype=np.int64), (n, n)
+        )
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    ws = np.asarray(ws, dtype=np.float64)
+    base = min(int(us.min()), int(vs.min()))
+    if base > 0:
+        us = us - base
+        vs = vs - base
+    n = max(int(us.max()), int(vs.max())) + 1
+    if num_vertices is not None:
+        n = max(n, int(num_vertices))
+    return COOMatrix(us, vs, ws, (n, n)).tocsr()
+
+
+def write_edge_list(path, matrix: CSRMatrix, weighted: bool = True) -> None:
+    """Write the non-zero pattern of a matrix as a 1-based edge list."""
+    coo = matrix.tocoo()
+    with open(path, "w", encoding="utf-8") as handle:
+        for r, c, v in zip(coo.rows, coo.cols, coo.values):
+            if weighted:
+                handle.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")
+            else:
+                handle.write(f"{int(r) + 1} {int(c) + 1}\n")

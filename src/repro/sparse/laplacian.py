@@ -1,0 +1,109 @@
+"""Graph Laplacian preparation (Section 2.1 of the paper).
+
+Given a (possibly directed, possibly non-square) adjacency matrix the paper
+builds the symmetrically normalised Laplacian in three steps:
+
+1. make the matrix square (discarding or appending an all-zero block),
+2. average-symmetrise ``A <- (A + A^T) / 2``,
+3. form ``L_sym`` with unit diagonal for non-isolated vertices and
+   ``-1 / sqrt(deg(i) deg(j))`` off-diagonals on the sparsity pattern.
+
+All functions accept and return the CSR substrate of this package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = [
+    "ensure_square",
+    "average_symmetrize",
+    "degrees",
+    "normalized_laplacian",
+    "laplacian_from_adjacency",
+]
+
+
+def ensure_square(matrix: CSRMatrix) -> CSRMatrix:
+    """Return a square matrix by removing or appending an all-zero block.
+
+    If the matrix is wider than tall (or vice versa) and the excess rows or
+    columns carry no entries, they are dropped; otherwise a zero block is
+    appended so that the result is square (the paper's fallback rule).
+    """
+    nrows, ncols = matrix.shape
+    if nrows == ncols:
+        return matrix
+    coo = matrix.tocoo()
+    used_rows = int(coo.rows.max()) + 1 if coo.nnz else 0
+    used_cols = int(coo.cols.max()) + 1 if coo.nnz else 0
+    if nrows > ncols and used_rows <= ncols:
+        return CSRMatrix(
+            matrix.data.copy(),
+            matrix.indices.copy(),
+            matrix.indptr[: ncols + 1].copy(),
+            (ncols, ncols),
+        )
+    if ncols > nrows and used_cols <= nrows:
+        return COOMatrix(coo.rows, coo.cols, coo.values, (nrows, nrows)).tocsr()
+    n = max(nrows, ncols)
+    return COOMatrix(coo.rows, coo.cols, coo.values, (n, n)).tocsr()
+
+
+def average_symmetrize(matrix: CSRMatrix) -> CSRMatrix:
+    """Average symmetrisation ``A -> (A + A^T) / 2`` of a square matrix."""
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("average_symmetrize requires a square matrix")
+    coo = matrix.tocoo()
+    rows = np.concatenate([coo.rows, coo.cols])
+    cols = np.concatenate([coo.cols, coo.rows])
+    vals = np.concatenate([coo.values, coo.values]) * 0.5
+    return COOMatrix(rows, cols, vals, matrix.shape).tocsr()
+
+
+def degrees(adjacency: CSRMatrix) -> np.ndarray:
+    """Vertex degrees ``deg(i) = sum_j A_ij`` of a symmetric adjacency."""
+    return adjacency.row_sums()
+
+
+def normalized_laplacian(adjacency: CSRMatrix) -> CSRMatrix:
+    """Symmetrically normalised Laplacian of a symmetric adjacency matrix.
+
+    Implements equation (1) of the paper::
+
+        L_ij = 1                            if i = j and deg(i) > 0
+        L_ij = -A_ij / sqrt(deg(i) deg(j))  if i != j and A_ij != 0
+        L_ij = 0                            otherwise
+
+    Note that for weighted or multi-graphs this uses the weighted degree, so
+    the off-diagonal entries are scaled by the actual entry value ``A_ij``.
+    """
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError("normalized_laplacian requires a square matrix")
+    n = adjacency.shape[0]
+    deg = degrees(adjacency)
+    coo = adjacency.tocoo()
+    off = coo.rows != coo.cols
+    rows = coo.rows[off]
+    cols = coo.cols[off]
+    vals = np.asarray(coo.values, dtype=np.float64)[off]
+    keep = vals != 0.0
+    rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    denom = np.sqrt(deg[rows] * deg[cols])
+    # guard isolated / zero-degree endpoints (can occur with negative weights)
+    safe = denom != 0.0
+    rows, cols, vals, denom = rows[safe], cols[safe], vals[safe], denom[safe]
+    lap_vals = -vals / denom
+    diag_idx = np.nonzero(deg > 0)[0]
+    all_rows = np.concatenate([rows, diag_idx])
+    all_cols = np.concatenate([cols, diag_idx])
+    all_vals = np.concatenate([lap_vals, np.ones(diag_idx.size)])
+    return COOMatrix(all_rows, all_cols, all_vals, (n, n)).tocsr()
+
+
+def laplacian_from_adjacency(matrix: CSRMatrix) -> CSRMatrix:
+    """Full preparation pipeline: square -> symmetrise -> normalised Laplacian."""
+    return normalized_laplacian(average_symmetrize(ensure_square(matrix)))

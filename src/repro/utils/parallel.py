@@ -1,0 +1,44 @@
+"""Process-parallel map used by the experiment runner.
+
+The per-matrix experiments are embarrassingly parallel (MuFoLAB runs them the
+same way); a simple ``multiprocessing.Pool`` covers the use case without
+adding an MPI dependency.  Worker functions must be picklable module-level
+callables.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["parallel_map"]
+
+
+def parallel_map(func: Callable, items: Sequence, workers: int = 1, chunksize: int = 1) -> list:
+    """Apply ``func`` to every item, optionally across worker processes.
+
+    Parameters
+    ----------
+    func:
+        Module-level callable (must be picklable when ``workers > 1``).
+    items:
+        Sequence of arguments (one positional argument per call).
+    workers:
+        Number of worker processes; ``1`` (default) runs serially in-process,
+        ``0`` or negative uses all available CPUs.
+    chunksize:
+        Work chunk size handed to each worker.
+
+    Returns
+    -------
+    list
+        Results in the order of ``items``.
+    """
+    items = list(items)
+    if workers == 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    if workers <= 0:
+        workers = multiprocessing.cpu_count()
+    workers = min(workers, len(items))
+    with multiprocessing.Pool(processes=workers) as pool:
+        return pool.map(func, items, chunksize=max(1, chunksize))

@@ -1,0 +1,80 @@
+"""Plain-text rendering of cumulative error distributions and tables.
+
+The paper's figures are cumulative error distributions (sorted relative
+errors against the run percentile).  Without a plotting dependency the
+benchmark harness renders them as ASCII line charts and aligned tables, which
+is enough to compare the *shape* (which format wins, where the curves cross,
+how large the ∞ω/∞σ tails are) against the published figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_plot", "format_table"]
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 68,
+    height: int = 18,
+    xlabel: str = "percentile",
+    ylabel: str = "log10(relative error)",
+) -> str:
+    """Render named ``(x, y)`` series as an ASCII chart.
+
+    Each series gets a distinct marker character; non-finite y values are
+    skipped (they are reported separately as ∞ω/∞σ counts).
+    """
+    markers = "*o+x#@%&$~^"
+    points = {
+        name: [(x, y) for x, y in pts if math.isfinite(x) and math.isfinite(y)]
+        for name, pts in series.items()
+    }
+    finite = [p for pts in points.values() for p in pts]
+    if not finite:
+        return "(no finite data points)\n"
+    xs = [p[0] for p in finite]
+    ys = [p[1] for p in finite]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(points.items()):
+        marker = markers[idx % len(markers)]
+        for x, y in pts:
+            col = int((x - xmin) / (xmax - xmin) * (width - 1))
+            row = int((y - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    lines.append(f"  {ylabel}  [{ymin:.2f}, {ymax:.2f}]")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {xlabel}: {xmin:.0f}% .. {xmax:.0f}%")
+    legend = "   legend: " + "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(points)
+    )
+    lines.append(legend)
+    return "\n".join(lines) + "\n"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render rows as an aligned plain-text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arithmetic import available_formats, get_context, get_format
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def float64_ctx():
+    return get_context("float64")
+
+
+@pytest.fixture
+def reference_ctx():
+    return get_context("reference")
+
+
+@pytest.fixture(params=["bfloat16", "posit16", "takum16", "E4M3"])
+def emulated_ctx(request):
+    """A representative sample of emulated contexts."""
+    return get_context(request.param)
+
+
+@pytest.fixture(params=sorted(available_formats()))
+def any_format(request):
+    """Every registered number format."""
+    return get_format(request.param)
+
+
+def random_symmetric_csr(n: int, density: float = 0.08, seed: int = 0) -> CSRMatrix:
+    """Small random sparse symmetric matrix used across solver tests."""
+    rng = np.random.default_rng(seed)
+    nnz = max(n, int(density * n * n / 2))
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.standard_normal(nnz)
+    all_rows = np.concatenate([rows, cols, np.arange(n)])
+    all_cols = np.concatenate([cols, rows, np.arange(n)])
+    all_vals = np.concatenate([vals * 0.5, vals * 0.5, rng.standard_normal(n)])
+    return COOMatrix(all_rows, all_cols, all_vals, (n, n)).tocsr()
+
+
+@pytest.fixture
+def small_symmetric_matrix():
+    return random_symmetric_csr(40, density=0.1, seed=7)
+
+
+@pytest.fixture
+def medium_symmetric_matrix():
+    return random_symmetric_csr(120, density=0.05, seed=11)

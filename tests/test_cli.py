@@ -1,0 +1,81 @@
+"""Tests of the experiment command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.suite == "general"
+        assert args.widths == [8, 16, 32, 64]
+        assert args.matrices == 6
+
+    def test_rejects_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--suite", "bogus"])
+
+    def test_rejects_unknown_width(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--widths", "12"])
+
+
+class TestMain:
+    def test_table1_mode(self, capsys):
+        assert main(["--suite", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "biological" in out and "protein" in out
+
+    def test_small_general_run_with_csv(self, tmp_path, capsys):
+        output = tmp_path / "records.csv"
+        code = main(
+            [
+                "--suite",
+                "general",
+                "--widths",
+                "32",
+                "--matrices",
+                "1",
+                "--min-size",
+                "20",
+                "--max-size",
+                "24",
+                "--restarts",
+                "10",
+                "--no-plots",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "float32" in out
+        text = output.read_text()
+        assert "matrix" in text.splitlines()[0]
+        assert len(text.splitlines()) >= 2
+
+    def test_graph_class_run(self, capsys):
+        code = main(
+            [
+                "--suite",
+                "infrastructure",
+                "--widths",
+                "16",
+                "--matrices",
+                "1",
+                "--scale",
+                "0.03",
+                "--min-size",
+                "20",
+                "--max-size",
+                "26",
+                "--restarts",
+                "8",
+                "--no-plots",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "takum16" in out

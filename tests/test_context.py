@@ -1,0 +1,245 @@
+"""Tests of the compute contexts (per-operation rounding kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic import (
+    DynamicRangeError,
+    EmulatedContext,
+    NativeContext,
+    ReferenceContext,
+    get_context,
+    get_format,
+)
+from tests.conftest import random_symmetric_csr
+
+
+class TestGetContext:
+    def test_native_contexts(self):
+        assert isinstance(get_context("float64"), NativeContext)
+        assert isinstance(get_context("float32"), NativeContext)
+        assert isinstance(get_context("reference"), ReferenceContext)
+        assert get_context("reference").dtype == np.longdouble
+
+    def test_emulated_contexts(self):
+        for name in ("bfloat16", "posit16", "takum8", "E4M3"):
+            ctx = get_context(name)
+            assert isinstance(ctx, EmulatedContext)
+            assert ctx.name == name
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(KeyError):
+            get_context("float8_e3m4")
+
+    def test_invalid_accumulation_rejected(self):
+        with pytest.raises(ValueError):
+            get_context("float64", accumulation="random")
+
+
+class TestElementwiseOps:
+    def test_native_ops_match_numpy(self, float64_ctx, rng):
+        a = rng.standard_normal(50)
+        b = rng.standard_normal(50)
+        assert np.array_equal(float64_ctx.add(a, b), a + b)
+        assert np.array_equal(float64_ctx.mul(a, b), a * b)
+        assert np.array_equal(float64_ctx.sub(a, b), a - b)
+
+    def test_emulated_ops_are_rounded(self):
+        ctx = get_context("bfloat16")
+        a = ctx.asarray([1.0])
+        b = ctx.asarray([3.0])
+        # 1/3 rounded to bfloat16
+        expected = get_format("bfloat16").round_scalar(1.0 / 3.0)
+        assert float(ctx.div(a, b)[0]) == expected
+
+    def test_results_stay_representable(self, emulated_ctx, rng):
+        fmt = emulated_ctx.format
+        a = emulated_ctx.asarray(rng.standard_normal(64))
+        b = emulated_ctx.asarray(rng.standard_normal(64))
+        for op in (emulated_ctx.add, emulated_ctx.sub, emulated_ctx.mul):
+            out = op(a, b)
+            finite = np.isfinite(out)
+            again = fmt.round_array(out[finite])
+            assert np.array_equal(again, out[finite])
+
+    def test_neg_and_abs_are_exact(self, emulated_ctx, rng):
+        a = emulated_ctx.asarray(rng.standard_normal(32))
+        assert np.array_equal(emulated_ctx.neg(a), -a)
+        assert np.array_equal(emulated_ctx.abs(a), np.abs(a))
+
+    def test_sqrt(self):
+        ctx = get_context("takum16")
+        out = float(ctx.sqrt(ctx.asarray([2.0]))[0])
+        assert out == pytest.approx(np.sqrt(2.0), rel=1e-3)
+
+    def test_op_counting(self):
+        ctx = get_context("posit16")
+        before = ctx.op_count
+        ctx.add(ctx.asarray([1.0, 2.0]), ctx.asarray([3.0, 4.0]))
+        assert ctx.op_count == before + 2
+
+    def test_op_counting_disabled(self):
+        ctx = get_context("posit16", count_ops=False)
+        ctx.add(ctx.asarray([1.0]), ctx.asarray([2.0]))
+        assert ctx.op_count == 0
+
+
+class TestReductions:
+    def test_dot_exact_values(self, float64_ctx):
+        x = np.arange(1.0, 9.0)
+        assert float(float64_ctx.dot(x, x)) == float(np.dot(x, x))
+
+    def test_pairwise_vs_sequential_same_exact_result(self):
+        # with exactly representable data and no rounding both orders agree
+        ctx_p = get_context("float64", accumulation="pairwise")
+        ctx_s = get_context("float64", accumulation="sequential")
+        x = np.arange(1.0, 20.0)
+        assert float(ctx_p.reduce_sum(x)) == float(ctx_s.reduce_sum(x))
+
+    def test_accumulation_order_changes_low_precision_result(self, rng):
+        x = rng.standard_normal(257)
+        ctx_p = get_context("bfloat16", accumulation="pairwise")
+        ctx_s = get_context("bfloat16", accumulation="sequential")
+        xp = ctx_p.asarray(x)
+        rp = float(ctx_p.reduce_sum(xp))
+        rs = float(ctx_s.reduce_sum(xp))
+        exact = float(np.sum(xp))
+        # pairwise should not be further from the exact sum than sequential
+        assert abs(rp - exact) <= abs(rs - exact) + 0.25
+
+    def test_empty_reduction(self, float64_ctx):
+        assert float(float64_ctx.reduce_sum(np.zeros(0))) == 0.0
+
+    def test_norm_scaled_avoids_overflow(self):
+        ctx = get_context("E4M3")
+        # the squares of the entries overflow 448 but the norm itself (374)
+        # is representable: the scaled algorithm must survive, the naive one
+        # overflows to NaN
+        x = ctx.asarray([300.0, 200.0, 100.0])
+        norm = float(ctx.norm2(x))
+        assert np.isfinite(norm)
+        assert norm == pytest.approx(np.linalg.norm([300.0, 200.0, 100.0]), rel=0.15)
+        assert not np.isfinite(float(ctx.norm2_naive(x)))
+
+    def test_norm_of_zero_vector(self, emulated_ctx):
+        assert float(emulated_ctx.norm2(np.zeros(5))) == 0.0
+
+    def test_axpy_and_scale(self, float64_ctx, rng):
+        x = rng.standard_normal(10)
+        y = rng.standard_normal(10)
+        assert np.allclose(float64_ctx.axpy(2.0, x, y), y + 2.0 * x)
+        assert np.allclose(float64_ctx.scale(3.0, x), 3.0 * x)
+
+
+class TestDenseKernels:
+    def test_gemv_matches_numpy(self, float64_ctx, rng):
+        M = rng.standard_normal((7, 5))
+        x = rng.standard_normal(5)
+        assert np.allclose(float64_ctx.gemv(M, x), M @ x)
+
+    def test_gemv_t_matches_numpy(self, float64_ctx, rng):
+        M = rng.standard_normal((7, 5))
+        x = rng.standard_normal(7)
+        assert np.allclose(float64_ctx.gemv_t(M, x), M.T @ x)
+
+    def test_gemm_matches_numpy(self, float64_ctx, rng):
+        A = rng.standard_normal((6, 4))
+        B = rng.standard_normal((4, 3))
+        assert np.allclose(float64_ctx.gemm(A, B), A @ B)
+
+    def test_gemm_dimension_mismatch(self, float64_ctx, rng):
+        with pytest.raises(ValueError):
+            float64_ctx.gemm(rng.standard_normal((3, 3)), rng.standard_normal((4, 2)))
+
+    def test_empty_dimensions(self, float64_ctx):
+        assert float64_ctx.gemv(np.zeros((3, 0)), np.zeros(0)).shape == (3,)
+        assert float64_ctx.gemv_t(np.zeros((0, 4)), np.zeros(0)).shape == (4,)
+
+    def test_low_precision_gemv_close_to_exact(self, rng):
+        ctx = get_context("takum16")
+        M = ctx.asarray(rng.standard_normal((8, 8)))
+        x = ctx.asarray(rng.standard_normal(8))
+        assert np.allclose(ctx.gemv(M, x), np.asarray(M) @ np.asarray(x), atol=0.02)
+
+
+class TestSparseKernel:
+    def test_spmv_matches_scipy(self, float64_ctx, rng):
+        A = random_symmetric_csr(60, density=0.1, seed=3)
+        x = rng.standard_normal(60)
+        expected = A.toscipy() @ x
+        assert np.allclose(float64_ctx.spmv(A, x), expected)
+
+    def test_spmv_sequential_matches_scipy(self, rng):
+        ctx = get_context("float64", accumulation="sequential")
+        A = random_symmetric_csr(40, density=0.15, seed=5)
+        x = rng.standard_normal(40)
+        assert np.allclose(ctx.spmv(A, x), A.toscipy() @ x)
+
+    def test_spmv_with_empty_rows(self, float64_ctx):
+        from repro.sparse import CSRMatrix
+
+        A = CSRMatrix(
+            np.array([2.0, 3.0]),
+            np.array([1, 0]),
+            np.array([0, 1, 1, 2]),
+            (3, 3),
+        )
+        out = float64_ctx.spmv(A, np.array([1.0, 10.0, 100.0]))
+        assert np.array_equal(out, [20.0, 0.0, 3.0])
+
+    def test_spmv_empty_matrix(self, float64_ctx):
+        from repro.sparse import CSRMatrix
+
+        A = CSRMatrix(np.zeros(0), np.zeros(0, dtype=np.int64), np.zeros(4, dtype=np.int64), (3, 3))
+        assert np.array_equal(float64_ctx.spmv(A, np.ones(3)), np.zeros(3))
+
+    def test_spmv_low_precision_rounds_each_product(self):
+        ctx = get_context("bfloat16")
+        A = random_symmetric_csr(30, density=0.2, seed=9)
+        Ac, _ = ctx.convert_matrix(A)
+        x = ctx.asarray(np.random.default_rng(0).standard_normal(30))
+        out = ctx.spmv(Ac, x)
+        # every output entry must be representable in bfloat16
+        fmt = get_format("bfloat16")
+        finite = np.isfinite(out)
+        assert np.array_equal(fmt.round_array(out[finite]), out[finite])
+
+
+class TestConversion:
+    def test_convert_matrix_reports_range(self):
+        ctx = get_context("E4M3")
+        A = random_symmetric_csr(20, density=0.2, seed=1)
+        A = A.with_data(A.data * 1e6)  # far beyond 448
+        _, info = ctx.convert_matrix(A)
+        assert info.range_exceeded
+
+    def test_convert_matrix_ok_for_laplacian_range(self):
+        ctx = get_context("E4M3")
+        A = random_symmetric_csr(20, density=0.2, seed=2)
+        A = A.with_data(np.clip(A.data, -1.0, 1.0))
+        converted, info = ctx.convert_matrix(A)
+        assert not info.range_exceeded
+        assert converted.shape == A.shape
+
+    def test_tapered_formats_never_exceed_range(self):
+        ctx = get_context("takum8")
+        A = random_symmetric_csr(20, density=0.2, seed=3)
+        A = A.with_data(A.data * 1e30)
+        _, info = ctx.convert_matrix(A)
+        assert not info.range_exceeded
+
+    def test_dynamic_range_error_carries_info(self):
+        from repro.arithmetic.base import RoundingInfo
+
+        err = DynamicRangeError("boom", RoundingInfo(overflowed=3))
+        assert err.info.overflowed == 3
+
+
+class TestMachineEpsilon:
+    def test_native_epsilon(self):
+        assert get_context("float64").machine_epsilon == np.finfo(np.float64).eps
+        assert get_context("float32").machine_epsilon == np.finfo(np.float32).eps
+
+    def test_emulated_epsilon(self):
+        assert get_context("bfloat16").machine_epsilon == 2.0**-7
+        assert get_context("posit16").machine_epsilon == 2.0**-11

@@ -1,0 +1,148 @@
+"""Tests of the synthetic SuiteSparse-like and Network-Repository-like suites."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CATEGORY_TO_CLASS,
+    CLASS_NAMES,
+    GENERAL_FAMILIES,
+    GRAPH_CATEGORIES,
+    TestMatrix,
+    available_suites,
+    category_counts,
+    classify_category,
+    generate_graph,
+    get_suite,
+    graph_suite,
+    suitesparse_like,
+    table1_counts,
+)
+
+
+class TestClassification:
+    def test_all_31_categories_present(self):
+        assert len(GRAPH_CATEGORIES) == 31
+        assert set(CATEGORY_TO_CLASS) == set(GRAPH_CATEGORIES)
+
+    def test_four_classes(self):
+        assert CLASS_NAMES == ("biological", "infrastructure", "social", "miscellaneous")
+        assert set(CATEGORY_TO_CLASS.values()) == set(CLASS_NAMES)
+
+    def test_table1_class_totals_match_paper(self):
+        counts = table1_counts()
+        totals = {}
+        for category, count in counts.items():
+            cls = CATEGORY_TO_CLASS[category]
+            totals[cls] = totals.get(cls, 0) + count
+        assert totals["biological"] == 1219
+        assert totals["infrastructure"] == 29
+        assert totals["social"] == 234
+        assert totals["miscellaneous"] == 1820
+        assert sum(counts.values()) == 3302
+
+    def test_specific_category_mapping(self):
+        assert classify_category("protein") == "biological"
+        assert classify_category("road") == "infrastructure"
+        assert classify_category("socfb") == "social"
+        assert classify_category("dimacs") == "miscellaneous"
+        with pytest.raises(KeyError):
+            classify_category("not-a-category")
+
+    def test_scaled_counts(self):
+        scaled = category_counts(scale=0.01)
+        assert scaled["misc"] == 16  # round(1555 * 0.01)
+        assert scaled["massive"] == 0  # empty categories stay empty
+        assert scaled["cit"] == 1  # non-empty categories keep at least one
+
+
+class TestGeneralSuite:
+    def test_count_and_determinism(self):
+        a = suitesparse_like(count=12, size_range=(20, 40), seed=3)
+        b = suitesparse_like(count=12, size_range=(20, 40), seed=3)
+        assert len(a) == 12
+        assert [t.name for t in a] == [t.name for t in b]
+        assert np.array_equal(a[0].matrix.data, b[0].matrix.data)
+
+    def test_matrices_are_symmetric(self):
+        for tm in suitesparse_like(count=9, size_range=(20, 40), seed=1):
+            assert tm.is_symmetric(tol=1e-12), tm.name
+            assert tm.group == "general"
+
+    def test_every_family_is_used(self):
+        suite = suitesparse_like(count=len(GENERAL_FAMILIES), size_range=(20, 30), seed=0)
+        assert {tm.category for tm in suite} == set(GENERAL_FAMILIES)
+
+    def test_nnz_cap_respected(self):
+        for tm in suitesparse_like(count=9, size_range=(150, 300), max_nnz=5000, seed=2):
+            assert tm.nnz <= 5000
+
+    def test_wide_dynamic_range_family_exceeds_8bit_range(self):
+        suite = suitesparse_like(count=45, size_range=(20, 40), seed=0)
+        wide = [t for t in suite if t.category == "wide_dynamic_range"]
+        assert wide and max(t.dynamic_range() for t in wide) > 1e6
+
+    def test_metadata(self):
+        tm = suitesparse_like(count=1, size_range=(20, 25), seed=0)[0]
+        assert tm.n == tm.matrix.shape[0]
+        assert tm.nnz == tm.matrix.nnz
+        assert "TestMatrix" in repr(tm)
+
+
+class TestGraphSuite:
+    def test_laplacian_properties(self):
+        for tm in graph_suite(classes="infrastructure", scale=0.03, size_range=(16, 40), seed=2):
+            assert tm.is_symmetric(tol=1e-12)
+            lam = np.linalg.eigvalsh(tm.matrix.todense())
+            assert lam.min() >= -1e-9
+            assert lam.max() <= 2.0 + 1e-9
+
+    def test_class_filtering(self):
+        bio = graph_suite(classes="biological", scale=0.002, size_range=(16, 24), seed=0)
+        assert bio and all(t.group == "biological" for t in bio)
+        multi = graph_suite(classes=("social", "miscellaneous"), scale=0.001, size_range=(16, 24), seed=0)
+        assert {t.group for t in multi} <= {"social", "miscellaneous"}
+
+    def test_determinism(self):
+        a = graph_suite(classes="social", scale=0.002, size_range=(16, 30), seed=9)
+        b = graph_suite(classes="social", scale=0.002, size_range=(16, 30), seed=9)
+        assert [t.name for t in a] == [t.name for t in b]
+        assert np.array_equal(a[0].matrix.data, b[0].matrix.data)
+
+    def test_generate_graph_single(self):
+        adjacency, model = generate_graph("power", 0, 30, seed=0)
+        assert adjacency.shape[0] == adjacency.shape[1]
+        assert adjacency.is_symmetric(tol=1e-12)
+        assert np.all(adjacency.diagonal() == 0)
+        assert isinstance(model, str)
+
+    def test_generate_graph_unknown_category(self):
+        with pytest.raises(KeyError):
+            generate_graph("unknown", 0, 20)
+
+    def test_weighted_categories_have_non_unit_weights(self):
+        adjacency, _ = generate_graph("econ", 0, 40, seed=1)
+        if adjacency.nnz:
+            assert np.any(adjacency.data != 1.0)
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_suites()
+        assert "general" in names and "biological" in names and "all-graphs" in names
+
+    def test_get_suite_general(self):
+        suite = get_suite("general", count=4, size_range=(20, 25), seed=0)
+        assert len(suite) == 4
+
+    def test_get_suite_graph_class(self):
+        suite = get_suite("infrastructure", scale=0.03, size_range=(16, 25), seed=0)
+        assert all(t.group == "infrastructure" for t in suite)
+
+    def test_get_suite_all_graphs(self):
+        suite = get_suite("all-graphs", scale=0.001, size_range=(16, 20), seed=0)
+        assert {t.group for t in suite} <= set(CLASS_NAMES)
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError):
+            get_suite("nonexistent")

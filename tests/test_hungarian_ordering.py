@@ -1,0 +1,110 @@
+"""Tests of the Hungarian assignment algorithm and eigenvalue ordering rules."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.linalg import hungarian, ordering_key, select_order, WHICH_RULES
+
+
+class TestHungarian:
+    def test_simple_known_case(self):
+        cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+        assignment, total = hungarian(cost)
+        assert total == pytest.approx(5.0)
+        assert sorted(assignment.tolist()) == [0, 1, 2]
+
+    def test_identity_is_optimal(self):
+        cost = np.eye(4) * -10.0
+        assignment, total = hungarian(cost)
+        assert np.array_equal(assignment, np.arange(4))
+        assert total == -40.0
+
+    def test_matches_scipy_square(self, rng):
+        for _ in range(25):
+            n = int(rng.integers(1, 9))
+            cost = rng.standard_normal((n, n))
+            ours, total = hungarian(cost)
+            r, c = linear_sum_assignment(cost)
+            assert total == pytest.approx(cost[r, c].sum(), abs=1e-10)
+            assert len(set(ours.tolist())) == n
+
+    def test_matches_scipy_rectangular(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(1, 6))
+            m = int(rng.integers(n, 10))
+            cost = rng.uniform(-5, 5, (n, m))
+            ours, total = hungarian(cost)
+            r, c = linear_sum_assignment(cost)
+            assert total == pytest.approx(cost[r, c].sum(), abs=1e-10)
+
+    def test_matches_bruteforce(self, rng):
+        for _ in range(10):
+            n = 5
+            cost = rng.uniform(0, 1, (n, n))
+            _, total = hungarian(cost)
+            best = min(
+                sum(cost[i, p[i]] for i in range(n))
+                for p in itertools.permutations(range(n))
+            )
+            assert total == pytest.approx(best, abs=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_matches_scipy(self, n, extra, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(-10, 10, (n, n + extra))
+        _, total = hungarian(cost)
+        r, c = linear_sum_assignment(cost)
+        assert total == pytest.approx(cost[r, c].sum(), abs=1e-9)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            hungarian(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            hungarian(np.array([[np.inf, 1.0], [1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            hungarian(np.ones(3))
+
+    def test_empty(self):
+        assignment, total = hungarian(np.zeros((0, 5)))
+        assert assignment.size == 0 and total == 0.0
+
+
+class TestOrdering:
+    def test_rules_exist(self):
+        assert set(WHICH_RULES) == {"LM", "SM", "LR", "SR"}
+
+    def test_lm_puts_largest_magnitude_first(self):
+        lam = np.array([1.0, -5.0, 3.0, 0.1])
+        order = select_order(lam, "LM")
+        assert list(lam[order]) == [-5.0, 3.0, 1.0, 0.1]
+
+    def test_sm(self):
+        lam = np.array([1.0, -5.0, 3.0, 0.1])
+        assert lam[select_order(lam, "SM")][0] == 0.1
+
+    def test_lr_and_sr(self):
+        lam = np.array([1.0, -5.0, 3.0])
+        assert lam[select_order(lam, "LR")][0] == 3.0
+        assert lam[select_order(lam, "SR")][0] == -5.0
+
+    def test_case_insensitive(self):
+        lam = np.array([2.0, -3.0])
+        assert np.array_equal(select_order(lam, "lm"), select_order(lam, "LM"))
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError):
+            ordering_key(np.array([1.0]), "XX")
+
+    def test_stable_for_ties(self):
+        lam = np.array([2.0, -2.0, 2.0])
+        order = select_order(lam, "LM")
+        assert list(order) == [0, 1, 2]

@@ -1,0 +1,132 @@
+"""Tests of the graph-Laplacian preparation pipeline (paper Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    average_symmetrize,
+    degrees,
+    ensure_square,
+    laplacian_from_adjacency,
+    normalized_laplacian,
+)
+
+
+def path_graph_adjacency(n):
+    rows, cols = [], []
+    for i in range(n - 1):
+        rows += [i, i + 1]
+        cols += [i + 1, i]
+    return COOMatrix(rows, cols, np.ones(len(rows)), (n, n)).tocsr()
+
+
+class TestEnsureSquare:
+    def test_square_passthrough(self):
+        A = CSRMatrix.identity(4)
+        assert ensure_square(A) is A
+
+    def test_drops_empty_trailing_rows(self):
+        coo = COOMatrix([0, 1], [1, 0], [1.0, 1.0], (5, 3))
+        out = ensure_square(coo.tocsr())
+        assert out.shape == (3, 3)
+        assert out.nnz == 2
+
+    def test_drops_empty_trailing_cols(self):
+        coo = COOMatrix([0, 1], [1, 0], [1.0, 1.0], (3, 6))
+        out = ensure_square(coo.tocsr())
+        assert out.shape == (3, 3)
+
+    def test_pads_when_entries_block_removal(self):
+        coo = COOMatrix([4], [0], [1.0], (5, 3))
+        out = ensure_square(coo.tocsr())
+        assert out.shape == (5, 5)
+        assert out.todense()[4, 0] == 1.0
+
+
+class TestSymmetrize:
+    def test_average_symmetrization(self):
+        dense = np.array([[0.0, 2.0], [0.0, 0.0]])
+        out = average_symmetrize(CSRMatrix.from_dense(dense)).todense()
+        assert out[0, 1] == 1.0 and out[1, 0] == 1.0
+
+    def test_symmetric_input_unchanged(self, rng):
+        dense = rng.standard_normal((6, 6))
+        dense = (dense + dense.T) / 2
+        out = average_symmetrize(CSRMatrix.from_dense(dense)).todense()
+        assert np.allclose(out, dense)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            average_symmetrize(CSRMatrix.from_dense(np.ones((2, 3))))
+
+
+class TestNormalizedLaplacian:
+    def test_path_graph(self):
+        A = path_graph_adjacency(4)
+        L = normalized_laplacian(A)
+        dense = L.todense()
+        assert np.allclose(np.diag(dense), 1.0)
+        # edge (0,1): deg(0)=1, deg(1)=2 -> -1/sqrt(2)
+        assert dense[0, 1] == pytest.approx(-1 / np.sqrt(2))
+        assert dense[1, 2] == pytest.approx(-0.5)
+        assert L.is_symmetric(tol=1e-15)
+
+    def test_eigenvalues_in_zero_two(self):
+        A = path_graph_adjacency(12)
+        L = normalized_laplacian(A)
+        lam = np.linalg.eigvalsh(L.todense())
+        assert lam.min() >= -1e-12
+        assert lam.max() <= 2.0 + 1e-12
+
+    def test_zero_eigenvalue_exists(self):
+        A = path_graph_adjacency(7)
+        lam = np.linalg.eigvalsh(normalized_laplacian(A).todense())
+        assert np.min(np.abs(lam)) < 1e-12
+
+    def test_isolated_vertices_get_zero_diagonal(self):
+        coo = COOMatrix([0, 1], [1, 0], [1.0, 1.0], (4, 4))
+        L = normalized_laplacian(coo.tocsr())
+        dense = L.todense()
+        assert dense[2, 2] == 0.0 and dense[3, 3] == 0.0
+        assert dense[0, 0] == 1.0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = nx.erdos_renyi_graph(25, 0.2, seed=4)
+        rows, cols = [], []
+        for u, v in g.edges():
+            rows += [u, v]
+            cols += [v, u]
+        A = COOMatrix(rows, cols, np.ones(len(rows)), (25, 25)).tocsr()
+        L = normalized_laplacian(A).todense()
+        L_nx = nx.normalized_laplacian_matrix(g, nodelist=range(25)).toarray()
+        assert np.allclose(L, L_nx, atol=1e-12)
+
+    def test_weighted_graph(self):
+        coo = COOMatrix([0, 1], [1, 0], [4.0, 4.0], (2, 2))
+        L = normalized_laplacian(coo.tocsr()).todense()
+        # deg = 4 both; off-diagonal = -4 / sqrt(16) = -1
+        assert L[0, 1] == pytest.approx(-1.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalized_laplacian(CSRMatrix.from_dense(np.ones((2, 3))))
+
+
+class TestFullPipeline:
+    def test_directed_rectangular_input(self):
+        # directed edges in a non-square matrix: the pipeline squares,
+        # symmetrises and normalises
+        coo = COOMatrix([0, 1, 2], [1, 2, 0], [2.0, 2.0, 2.0], (3, 5))
+        L = laplacian_from_adjacency(coo.tocsr())
+        assert L.shape == (3, 3)
+        assert L.is_symmetric(tol=1e-15)
+        lam = np.linalg.eigvalsh(L.todense())
+        assert lam.min() >= -1e-12 and lam.max() <= 2.0 + 1e-12
+
+    def test_degrees(self):
+        A = path_graph_adjacency(3)
+        assert np.array_equal(degrees(A), [1.0, 2.0, 1.0])

@@ -1,0 +1,163 @@
+"""Tests of eigenvector matching, sign fixing, error metrics and tolerances."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    REFERENCE_TOLERANCE,
+    TOLERANCES,
+    absolute_l2_error,
+    cosine_similarity_matrix,
+    error_metrics,
+    fix_signs,
+    match_eigenpairs,
+    relative_l2_error,
+    tolerance_for,
+)
+
+
+def random_orthogonal(n, rng):
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    return q
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self, rng):
+        V = random_orthogonal(6, rng)[:, :3]
+        C = cosine_similarity_matrix(V, V)
+        assert np.allclose(np.diag(C), 1.0)
+        assert np.allclose(C - np.diag(np.diag(C)), 0.0, atol=1e-12)
+
+    def test_sign_invariance(self, rng):
+        V = random_orthogonal(5, rng)[:, :2]
+        C = cosine_similarity_matrix(V, -V)
+        assert np.allclose(np.diag(C), 1.0)
+
+    def test_zero_column_yields_zero(self):
+        R = np.eye(3)
+        S = np.zeros((3, 3))
+        assert np.all(cosine_similarity_matrix(R, S) == 0.0)
+
+    def test_values_in_unit_interval(self, rng):
+        C = cosine_similarity_matrix(rng.standard_normal((10, 4)), rng.standard_normal((10, 6)))
+        assert np.all(C >= 0) and np.all(C <= 1 + 1e-12)
+
+
+class TestSignFixing:
+    def test_flips_opposite_signs(self, rng):
+        R = random_orthogonal(8, rng)[:, :4]
+        S = -R
+        fixed = fix_signs(R, S)
+        assert np.allclose(fixed, R)
+
+    def test_keeps_correct_signs(self, rng):
+        R = random_orthogonal(8, rng)[:, :4]
+        assert np.allclose(fix_signs(R, R), R)
+
+    def test_uses_largest_reference_entry_as_anchor(self):
+        R = np.array([[1e-12, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        S = np.array([[1e-12, 0.0], [-1.0, 0.0], [0.0, 1.0]])
+        fixed = fix_signs(R, S)
+        assert fixed[1, 0] == 1.0
+
+
+class TestMatching:
+    def test_identity_permutation(self, rng):
+        vecs = random_orthogonal(10, rng)[:, :5]
+        vals = np.arange(5.0, 0.0, -1.0)
+        mvals, mvecs, perm = match_eigenpairs(vals, vecs, vals, vecs, keep=3)
+        assert np.array_equal(perm, [0, 1, 2])
+        assert np.allclose(mvecs, vecs[:, :3])
+
+    def test_recovers_permutation_and_signs(self, rng):
+        vecs = random_orthogonal(12, rng)[:, :6]
+        vals = np.linspace(6.0, 1.0, 6)
+        shuffle = np.array([2, 0, 1, 5, 4, 3])
+        signs = np.array([1, -1, 1, -1, 1, -1])
+        comp_vecs = vecs[:, shuffle] * signs[None, :]
+        comp_vals = vals[shuffle]
+        mvals, mvecs, perm = match_eigenpairs(vals, vecs, comp_vals, comp_vecs, keep=6)
+        assert np.allclose(mvals, vals)
+        assert np.allclose(mvecs, vecs, atol=1e-12)
+
+    def test_buffer_prevents_cluster_truncation(self, rng):
+        # reference has 5+2 pairs; the computed run found the clustered pair
+        # in swapped order at the edge of the window
+        vecs = random_orthogonal(10, rng)[:, :7]
+        vals = np.array([5.0, 4.0, 3.0, 2.0, 1.001, 1.0, 0.5])
+        swap = np.array([0, 1, 2, 3, 5, 4, 6])
+        mvals, mvecs, perm = match_eigenpairs(vals, vecs, vals[swap], vecs[:, swap], keep=5)
+        assert np.allclose(mvecs, vecs[:, :5], atol=1e-12)
+        assert np.allclose(mvals, vals[:5])
+
+    def test_fewer_computed_than_reference(self, rng):
+        vecs = random_orthogonal(9, rng)[:, :5]
+        vals = np.linspace(5.0, 1.0, 5)
+        mvals, mvecs, perm = match_eigenpairs(vals, vecs, vals[:3], vecs[:, :3], keep=4)
+        assert mvals.shape == (4,)
+        assert mvecs.shape == (9, 4)
+
+    def test_no_computed_pairs_raises(self, rng):
+        vecs = random_orthogonal(5, rng)[:, :3]
+        with pytest.raises(ValueError):
+            match_eigenpairs(np.ones(3), vecs, np.zeros(0), np.zeros((5, 0)), keep=3)
+
+    def test_noisy_vectors_still_match(self, rng):
+        vecs = random_orthogonal(20, rng)[:, :6]
+        noise = 0.01 * rng.standard_normal((20, 6))
+        comp = vecs + noise
+        _, mvecs, perm = match_eigenpairs(
+            np.arange(6.0, 0.0, -1.0), vecs, np.arange(6.0, 0.0, -1.0), comp, keep=6
+        )
+        assert np.array_equal(np.sort(perm), np.arange(6))
+
+
+class TestErrorMetrics:
+    def test_absolute_and_relative(self):
+        ref = np.array([3.0, 4.0])
+        comp = np.array([3.0, 5.0])
+        assert absolute_l2_error(ref, comp) == pytest.approx(1.0)
+        assert relative_l2_error(ref, comp) == pytest.approx(0.2)
+
+    def test_zero_reference(self):
+        assert relative_l2_error(np.zeros(3), np.zeros(3)) == 0.0
+        assert relative_l2_error(np.zeros(2), np.array([1.0, 0.0])) == pytest.approx(1.0)
+
+    def test_matrix_frobenius(self, rng):
+        ref = rng.standard_normal((6, 3))
+        comp = ref + 0.1
+        expected = np.linalg.norm(ref - comp) / np.linalg.norm(ref)
+        assert relative_l2_error(ref, comp) == pytest.approx(expected, rel=1e-10)
+
+    def test_error_metrics_dataclass(self, rng):
+        ref_vals = np.array([2.0, 1.0])
+        ref_vecs = random_orthogonal(4, rng)[:, :2]
+        metrics = error_metrics(ref_vals, ref_vecs, ref_vals, ref_vecs)
+        assert metrics.eigenvalue_relative == 0.0
+        assert metrics.finite
+
+    def test_non_finite_detected(self):
+        metrics = error_metrics(np.array([1.0]), np.eye(1), np.array([np.nan]), np.eye(1))
+        assert not metrics.finite
+
+
+class TestTolerances:
+    def test_paper_values(self):
+        assert TOLERANCES == {8: 1e-2, 16: 1e-4, 32: 1e-8, 64: 1e-12}
+        assert REFERENCE_TOLERANCE == 1e-18
+
+    def test_lookup_by_name_and_width(self):
+        assert tolerance_for("bfloat16") == 1e-4
+        assert tolerance_for("E4M3") == 1e-2
+        assert tolerance_for("posit64") == 1e-12
+        assert tolerance_for(32) == 1e-8
+        assert tolerance_for("reference") == REFERENCE_TOLERANCE
+
+    def test_lookup_by_format_object(self):
+        from repro.arithmetic import get_format
+
+        assert tolerance_for(get_format("takum32")) == 1e-8
+
+    def test_unknown_width(self):
+        with pytest.raises(KeyError):
+            tolerance_for(12)

@@ -1,0 +1,175 @@
+"""Tests of the Krylov-Schur ``partialschur`` driver."""
+
+import numpy as np
+import pytest
+from scipy.sparse.linalg import eigsh
+
+from repro.arithmetic import get_context
+from repro.core import partialschur
+from repro.core.krylov_schur import default_maxdim, effective_tolerance
+from repro.sparse import CSRMatrix
+from tests.conftest import random_symmetric_csr
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("n,nev", [(30, 5), (80, 10), (150, 8)])
+    def test_largest_magnitude_eigenvalues(self, n, nev):
+        A = random_symmetric_csr(n, density=0.08, seed=n)
+        result = partialschur(A, nev=nev, which="LM", tol=1e-10, restarts=300)
+        assert result.converged
+        ref = eigsh(A.toscipy(), k=nev, which="LM", return_eigenvectors=False)
+        assert np.allclose(
+            np.sort(result.eigenvalues_float64()), np.sort(ref), atol=1e-8
+        )
+
+    def test_eigenvectors_have_small_residual(self, medium_symmetric_matrix):
+        A = medium_symmetric_matrix
+        result = partialschur(A, nev=6, tol=1e-10, restarts=300)
+        assert result.converged
+        S = A.toscipy()
+        lam = result.eigenvalues_float64()
+        X = result.eigenvectors_float64()
+        for i in range(6):
+            residual = np.linalg.norm(S @ X[:, i] - lam[i] * X[:, i])
+            assert residual < 1e-7
+
+    def test_eigenvector_orthonormality(self, small_symmetric_matrix):
+        result = partialschur(small_symmetric_matrix, nev=8, tol=1e-10, restarts=200)
+        X = result.eigenvectors_float64()
+        assert np.allclose(X.T @ X, np.eye(8), atol=1e-8)
+
+    def test_smallest_magnitude(self):
+        diag = np.arange(1.0, 21.0)
+        A = CSRMatrix.from_dense(np.diag(diag))
+        result = partialschur(A, nev=3, which="SM", tol=1e-12, restarts=200)
+        assert np.allclose(np.sort(result.eigenvalues_float64()), [1.0, 2.0, 3.0], atol=1e-9)
+
+    def test_largest_algebraic(self):
+        diag = np.concatenate([np.arange(-10.0, 0.0), np.arange(1.0, 6.0)])
+        A = CSRMatrix.from_dense(np.diag(diag))
+        result = partialschur(A, nev=2, which="LR", tol=1e-12, restarts=200)
+        assert np.allclose(np.sort(result.eigenvalues_float64()), [4.0, 5.0], atol=1e-9)
+
+
+class TestSpecialCases:
+    def test_matrix_smaller_than_nev(self):
+        A = CSRMatrix.from_dense(np.diag([3.0, 1.0, 2.0]))
+        result = partialschur(A, nev=10, tol=1e-12)
+        assert result.nev == 3
+        assert np.allclose(np.sort(result.eigenvalues_float64()), [1.0, 2.0, 3.0])
+
+    def test_diagonal_matrix_with_degenerate_spectrum(self):
+        diag = np.array([2.0] * 10 + [1.0] * 10 + [5.0] * 5)
+        A = CSRMatrix.from_dense(np.diag(diag))
+        result = partialschur(A, nev=6, tol=1e-10, restarts=200)
+        lam = np.sort(result.eigenvalues_float64())[::-1]
+        assert lam[0] == pytest.approx(5.0, abs=1e-8)
+
+    def test_identity_matrix(self):
+        A = CSRMatrix.identity(12)
+        result = partialschur(A, nev=4, tol=1e-12)
+        assert np.allclose(result.eigenvalues_float64(), 1.0)
+
+    def test_rejects_rectangular(self):
+        from repro.sparse import COOMatrix
+
+        A = COOMatrix([0], [1], [1.0], (2, 3)).tocsr()
+        with pytest.raises(ValueError):
+            partialschur(A, nev=1)
+
+    def test_rejects_bad_nev(self, small_symmetric_matrix):
+        with pytest.raises(ValueError):
+            partialschur(small_symmetric_matrix, nev=0)
+
+    def test_deterministic_with_seed(self, small_symmetric_matrix):
+        r1 = partialschur(small_symmetric_matrix, nev=5, tol=1e-10, seed=3)
+        r2 = partialschur(small_symmetric_matrix, nev=5, tol=1e-10, seed=3)
+        assert np.array_equal(r1.eigenvalues_float64(), r2.eigenvalues_float64())
+        assert r1.matvecs == r2.matvecs
+
+    def test_explicit_starting_vector(self, small_symmetric_matrix):
+        n = small_symmetric_matrix.shape[0]
+        result = partialschur(small_symmetric_matrix, nev=5, tol=1e-10, v0=np.ones(n))
+        assert result.converged
+
+
+class TestDiagnostics:
+    def test_result_metadata(self, small_symmetric_matrix):
+        result = partialschur(
+            small_symmetric_matrix, nev=5, tol=1e-10, ctx="float64", history=True
+        )
+        assert result.format_name == "float64"
+        assert result.which == "LM"
+        assert result.matvecs > 0
+        assert result.history is not None and len(result.history) >= 1
+        assert "PartialSchurResult" in repr(result)
+
+    def test_nonconvergence_reported(self, medium_symmetric_matrix):
+        result = partialschur(
+            medium_symmetric_matrix, nev=10, tol=1e-14, restarts=1, eps_floor=False
+        )
+        assert not result.converged
+        assert result.reason == "maxiter"
+
+    def test_residuals_below_tolerance_when_converged(self, small_symmetric_matrix):
+        tol = 1e-9
+        result = partialschur(small_symmetric_matrix, nev=5, tol=tol, restarts=300)
+        assert result.converged
+        lam = np.abs(result.eigenvalues_float64())
+        assert np.all(result.residuals <= tol * np.maximum(lam, 1e-300) + 1e-25)
+
+    def test_default_maxdim(self):
+        assert default_maxdim(10, 1000) == 21
+        assert default_maxdim(3, 1000) == 20
+        assert default_maxdim(10, 15) == 15
+
+    def test_effective_tolerance_floor(self):
+        ctx16 = get_context("bfloat16")
+        assert effective_tolerance(1e-4, ctx16) == pytest.approx(
+            ctx16.machine_epsilon ** (2 / 3)
+        )
+        assert effective_tolerance(1e-4, ctx16, eps_floor=False) == 1e-4
+        ctx64 = get_context("float64")
+        assert effective_tolerance(1e-4, ctx64) == 1e-4
+
+
+class TestLowPrecision:
+    def test_emulated_formats_run(self, small_symmetric_matrix):
+        for name, tol in (("bfloat16", 1e-4), ("takum16", 1e-4), ("posit16", 1e-4)):
+            result = partialschur(
+                small_symmetric_matrix, nev=6, tol=tol, ctx=name, restarts=15
+            )
+            assert result.format_name == name
+            if result.converged:
+                ref = eigsh(
+                    small_symmetric_matrix.toscipy(), k=6, which="LM", return_eigenvectors=False
+                )
+                rel = np.linalg.norm(
+                    np.sort(result.eigenvalues_float64()) - np.sort(ref)
+                ) / np.linalg.norm(ref)
+                assert rel < 0.2
+
+    def test_8bit_formats_do_not_crash(self, small_symmetric_matrix):
+        for name in ("E4M3", "E5M2", "posit8", "takum8"):
+            result = partialschur(
+                small_symmetric_matrix, nev=4, tol=1e-2, ctx=name, restarts=5
+            )
+            assert result.reason in ("converged", "maxiter", "breakdown", "invariant")
+
+    def test_reference_context_high_accuracy(self, small_symmetric_matrix):
+        result = partialschur(
+            small_symmetric_matrix, nev=5, tol=1e-18, ctx="reference", restarts=200
+        )
+        assert result.converged
+        ref = eigsh(
+            small_symmetric_matrix.toscipy(), k=5, which="LM", return_eigenvectors=False
+        )
+        assert np.allclose(np.sort(result.eigenvalues_float64()), np.sort(ref), atol=1e-10)
+
+    def test_laplacian_like_matrix_in_float16(self):
+        from repro.datasets import graph_suite
+
+        tm = graph_suite(classes="social", scale=0.001, size_range=(24, 32), seed=5)[0]
+        result = partialschur(tm.matrix, nev=6, tol=1e-4, ctx="float16", restarts=20)
+        if result.converged:
+            assert np.all(np.abs(result.eigenvalues_float64()) <= 2.5)

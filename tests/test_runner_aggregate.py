@@ -1,0 +1,186 @@
+"""Tests of the experiment runner, aggregation and figure/table emitters."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TestMatrix, graph_suite, suitesparse_like
+from repro.experiments import (
+    ExperimentConfig,
+    aggregate_by_format,
+    cumulative_distribution,
+    figure_csv_rows,
+    figure_report,
+    figure_series,
+    render_figure,
+    run_experiment,
+    run_matrix_experiment,
+    table1_report,
+)
+from repro.experiments.runner import RunRecord
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        eigenvalue_count=4, eigenvalue_buffer_count=2, restarts=15
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return graph_suite(classes="infrastructure", scale=0.03, size_range=(20, 28), seed=3)[:2]
+
+
+class TestRunMatrixExperiment:
+    def test_float64_runs_are_exact_enough(self, tiny_suite, tiny_config):
+        exp = run_matrix_experiment(tiny_suite[0], ["float64"], tiny_config)
+        assert exp.reference.converged
+        (record,) = exp.runs
+        assert record.status == "ok"
+        assert record.eigenvalue_relative_error < 1e-9
+        assert record.eigenvector_relative_error < 1e-5
+        assert record.matvecs > 0
+
+    def test_low_precision_errors_are_larger(self, tiny_suite, tiny_config):
+        exp = run_matrix_experiment(tiny_suite[0], ["float64", "bfloat16"], tiny_config)
+        by_format = {r.format: r for r in exp.runs}
+        if by_format["bfloat16"].status == "ok":
+            assert (
+                by_format["bfloat16"].eigenvalue_relative_error
+                > by_format["float64"].eigenvalue_relative_error
+            )
+
+    def test_range_exceeded_status(self, tiny_config):
+        # entries far beyond the E4M3 range trigger the paper's ∞σ marker
+        dense = np.diag(np.linspace(1.0, 9.0, 12)) * 1e6
+        dense[0, 1] = dense[1, 0] = 1e-7
+        tm = TestMatrix(name="synthetic/range", matrix=CSRMatrix.from_dense(dense), group="general")
+        exp = run_matrix_experiment(tm, ["E4M3", "takum16"], tiny_config)
+        statuses = {r.format: r.status for r in exp.runs}
+        assert statuses["E4M3"] == "range_exceeded"
+        assert statuses["takum16"] != "range_exceeded"
+
+    def test_statuses_are_known(self, tiny_suite, tiny_config):
+        exp = run_matrix_experiment(tiny_suite[1], ["E5M2", "posit8", "float32"], tiny_config)
+        from repro.experiments.runner import RUN_STATUSES
+
+        assert all(r.status in RUN_STATUSES for r in exp.runs)
+
+
+class TestRunExperiment:
+    def test_serial_run(self, tiny_suite, tiny_config):
+        result = run_experiment(tiny_suite, ["float64", "takum16"], tiny_config, workers=1)
+        assert len(result.records) == 2 * len(tiny_suite)
+        assert set(result.formats()) == {"float64", "takum16"}
+        assert len(result.by_format("float64")) == len(tiny_suite)
+        assert len(result.references) == len(tiny_suite)
+
+    def test_parallel_matches_serial(self, tiny_suite, tiny_config):
+        serial = run_experiment(tiny_suite, ["float32"], tiny_config, workers=1)
+        parallel = run_experiment(tiny_suite, ["float32"], tiny_config, workers=2)
+        s = sorted((r.matrix, r.eigenvalue_relative_error) for r in serial.records)
+        p = sorted((r.matrix, r.eigenvalue_relative_error) for r in parallel.records)
+        assert s == p
+
+
+class TestAggregation:
+    def test_cumulative_distribution(self):
+        points = cumulative_distribution([1e-3, 1e-1, 1e-2, np.nan, np.inf])
+        assert len(points) == 3
+        assert points[0][1] == pytest.approx(-3.0)
+        assert points[-1][0] == pytest.approx(100.0)
+
+    def test_cumulative_distribution_empty(self):
+        assert cumulative_distribution([]) == []
+
+    def _records(self):
+        recs = []
+        for i, err in enumerate([1e-4, 1e-3, 1e-2]):
+            recs.append(
+                RunRecord(
+                    matrix=f"m{i}",
+                    group="general",
+                    category="fam",
+                    format="takum16",
+                    status="ok",
+                    eigenvalue_relative_error=err,
+                    eigenvector_relative_error=err * 10,
+                )
+            )
+        recs.append(
+            RunRecord(
+                matrix="m3",
+                group="general",
+                category="fam",
+                format="takum16",
+                status="no_convergence",
+            )
+        )
+        recs.append(
+            RunRecord(
+                matrix="m4",
+                group="general",
+                category="fam",
+                format="E4M3",
+                status="range_exceeded",
+            )
+        )
+        return recs
+
+    def test_aggregate_by_format(self):
+        summaries = aggregate_by_format(self._records())
+        t = summaries["takum16"]
+        assert t.total_runs == 4
+        assert t.evaluated == 3
+        assert t.no_convergence == 1
+        assert t.eigenvalue_percentiles[50] == pytest.approx(1e-3)
+        assert t.failure_fraction == pytest.approx(0.25)
+        e = summaries["E4M3"]
+        assert e.range_exceeded == 1
+        assert np.isnan(e.eigenvalue_percentiles[50])
+
+    def test_figure_series(self):
+        series = figure_series(self._records(), metric="eigenvalue")
+        assert len(series["takum16"]) == 3
+        assert series["E4M3"] == []
+        with pytest.raises(ValueError):
+            figure_series(self._records(), metric="bogus")
+
+    def test_render_and_report(self):
+        records = self._records()
+        text = render_figure(records, "eigenvalue", "panel")
+        assert "panel" in text
+        report = figure_report(records, widths=(8, 16), title="Figure X")
+        assert "takum16" in report and "E4M3" in report
+        assert "16-bit" in report
+
+    def test_figure_csv_rows(self):
+        rows = figure_csv_rows(self._records())
+        assert len(rows) == 5
+        assert {"matrix", "format", "status"} <= set(rows[0])
+
+
+class TestTable1Report:
+    def test_contains_all_classes_and_counts(self):
+        report = table1_report()
+        for cls in ("biological", "infrastructure", "social", "miscellaneous"):
+            assert cls in report
+        assert "1219" in report  # biological class size
+        assert "1555" in report  # misc category size
+
+    def test_with_scale_column(self):
+        report = table1_report(scale=0.01)
+        assert "synthetic" in report
+
+
+class TestEndToEndSmall:
+    def test_general_suite_pipeline(self, tiny_config):
+        suite = suitesparse_like(count=2, size_range=(20, 26), seed=4)
+        result = run_experiment(suite, ["float32", "takum32"], tiny_config)
+        summaries = aggregate_by_format(result.records)
+        assert set(summaries) == {"float32", "takum32"}
+        ok = [r for r in result.records if r.status == "ok"]
+        assert ok, "expected at least one evaluated run"
+        for record in ok:
+            assert record.eigenvalue_relative_error < 1e-2

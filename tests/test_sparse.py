@@ -1,0 +1,128 @@
+"""Tests of the COO/CSR sparse-matrix substrate."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, CSRMatrix
+from tests.conftest import random_symmetric_csr
+
+
+class TestCOO:
+    def test_shape_inference(self):
+        coo = COOMatrix([0, 2], [1, 3], [1.0, 2.0])
+        assert coo.shape == (3, 4)
+
+    def test_explicit_shape_validation(self):
+        with pytest.raises(ValueError):
+            COOMatrix([0, 5], [0, 0], [1.0, 1.0], shape=(3, 3))
+        with pytest.raises(ValueError):
+            COOMatrix([-1], [0], [1.0], shape=(3, 3))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            COOMatrix([0, 1], [0], [1.0, 2.0])
+
+    def test_todense_sums_duplicates(self):
+        coo = COOMatrix([0, 0, 1], [0, 0, 1], [1.0, 2.0, 5.0], (2, 2))
+        dense = coo.todense()
+        assert dense[0, 0] == 3.0 and dense[1, 1] == 5.0
+
+    def test_transpose(self):
+        coo = COOMatrix([0, 1], [2, 0], [1.0, 2.0], (2, 3))
+        t = coo.T
+        assert t.shape == (3, 2)
+        assert t.todense()[2, 0] == 1.0
+
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.standard_normal((6, 6))
+        dense[np.abs(dense) < 0.7] = 0.0
+        coo = COOMatrix.from_dense(dense)
+        assert np.array_equal(coo.todense(), dense)
+
+
+class TestCSRConstruction:
+    def test_from_coo_sums_duplicates_and_drops_zeros(self):
+        coo = COOMatrix([0, 0, 1, 1], [1, 1, 0, 0], [1.0, 2.0, 3.0, -3.0], (2, 2))
+        csr = coo.tocsr()
+        assert csr.nnz == 1
+        assert csr.todense()[0, 1] == 3.0
+
+    def test_empty_matrix(self):
+        csr = COOMatrix([], [], [], (4, 4)).tocsr()
+        assert csr.nnz == 0
+        assert np.array_equal(csr.matvec(np.ones(4)), np.zeros(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.ones(2), np.array([0, 1]), np.array([0, 1]), (2, 2))
+        with pytest.raises(ValueError):
+            CSRMatrix(np.ones(2), np.array([0, 5]), np.array([0, 1, 2]), (2, 2))
+        with pytest.raises(ValueError):
+            CSRMatrix(np.ones(2), np.array([0, 1]), np.array([0, 2, 1]), (2, 2))
+
+    def test_identity(self):
+        eye = CSRMatrix.identity(5, value=2.0)
+        assert np.array_equal(eye.todense(), 2.0 * np.eye(5))
+
+    def test_from_dense(self, rng):
+        dense = rng.standard_normal((8, 8))
+        dense[np.abs(dense) < 0.8] = 0.0
+        assert np.array_equal(CSRMatrix.from_dense(dense).todense(), dense)
+
+    def test_roundtrip_with_scipy(self):
+        A = random_symmetric_csr(30, density=0.1, seed=0)
+        S = A.toscipy()
+        assert np.array_equal(S.toarray(), A.todense())
+
+
+class TestCSROperations:
+    def test_matvec_matches_scipy(self, rng):
+        A = random_symmetric_csr(50, density=0.1, seed=1)
+        x = rng.standard_normal(50)
+        assert np.allclose(A.matvec(x), A.toscipy() @ x)
+        assert np.allclose(A @ x, A.toscipy() @ x)
+
+    def test_diagonal(self):
+        A = CSRMatrix.from_dense(np.diag([1.0, 2.0, 3.0]) + np.eye(3, k=1))
+        assert np.array_equal(A.diagonal(), [1.0, 2.0, 3.0])
+
+    def test_row_sums(self):
+        dense = np.array([[1.0, 2.0], [0.0, -3.0]])
+        assert np.array_equal(CSRMatrix.from_dense(dense).row_sums(), [3.0, -3.0])
+
+    def test_transpose(self, rng):
+        dense = rng.standard_normal((5, 7))
+        dense[np.abs(dense) < 0.5] = 0.0
+        A = CSRMatrix.from_dense(dense)
+        assert np.array_equal(A.T.todense(), dense.T)
+
+    def test_scale(self):
+        A = CSRMatrix.identity(3)
+        assert np.array_equal(A.scale(4.0).todense(), 4.0 * np.eye(3))
+
+    def test_with_data_pattern_check(self):
+        A = CSRMatrix.identity(3)
+        with pytest.raises(ValueError):
+            A.with_data(np.ones(5))
+        B = A.with_data(np.array([7.0, 8.0, 9.0]))
+        assert np.array_equal(B.diagonal(), [7.0, 8.0, 9.0])
+        # original untouched
+        assert np.array_equal(A.diagonal(), [1.0, 1.0, 1.0])
+
+    def test_is_symmetric(self):
+        sym = random_symmetric_csr(20, density=0.2, seed=2)
+        assert sym.is_symmetric(tol=1e-14)
+        asym = CSRMatrix.from_dense(np.triu(np.ones((4, 4))))
+        assert not asym.is_symmetric()
+
+    def test_max_min_abs(self):
+        A = CSRMatrix.from_dense(np.array([[0.0, -5.0], [0.25, 0.0]]))
+        assert A.max_abs() == 5.0
+        assert A.min_abs_nonzero() == 0.25
+        empty = COOMatrix([], [], [], (2, 2)).tocsr()
+        assert empty.max_abs() == 0.0
+        assert empty.min_abs_nonzero() == 0.0
+
+    def test_tocoo_roundtrip(self):
+        A = random_symmetric_csr(15, density=0.2, seed=3)
+        assert np.array_equal(A.tocoo().tocsr().todense(), A.todense())

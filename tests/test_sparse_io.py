@@ -1,0 +1,138 @@
+"""Tests of Matrix-Market / edge-list parsing and writing."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+MM_GENERAL = """%%MatrixMarket matrix coordinate real general
+% a comment line
+3 3 4
+1 1 2.5
+1 2 -1.0
+2 3 4.0
+3 3 1.0
+"""
+
+MM_SYMMETRIC = """%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 1.0
+2 1 2.0
+3 2 -3.0
+"""
+
+MM_PATTERN = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+"""
+
+
+class TestMatrixMarketReader:
+    def test_general(self):
+        A = read_matrix_market(MM_GENERAL.splitlines())
+        dense = A.todense()
+        assert dense[0, 0] == 2.5
+        assert dense[0, 1] == -1.0
+        assert dense[1, 2] == 4.0
+        assert A.nnz == 4
+
+    def test_symmetric_expansion(self):
+        A = read_matrix_market(MM_SYMMETRIC.splitlines())
+        dense = A.todense()
+        assert dense[1, 0] == 2.0 and dense[0, 1] == 2.0
+        assert dense[2, 1] == -3.0 and dense[1, 2] == -3.0
+        assert A.is_symmetric()
+
+    def test_pattern_entries_get_value_one(self):
+        A = read_matrix_market(MM_PATTERN.splitlines())
+        assert A.todense()[0, 1] == 1.0
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_matrix_market(["1 1 1", "1 1 2.0"])
+
+    def test_header_understating_size_is_recovered(self):
+        lines = [
+            "%%MatrixMarket matrix coordinate real general",
+            "2 2 2",
+            "1 1 1.0",
+            "3 3 5.0",
+        ]
+        A = read_matrix_market(lines)
+        assert A.shape == (3, 3)
+        assert A.todense()[2, 2] == 5.0
+
+    def test_complex_rejected(self):
+        with pytest.raises(ValueError):
+            read_matrix_market(
+                ["%%MatrixMarket matrix coordinate complex general", "1 1 1", "1 1 1 0"]
+            )
+
+    def test_file_roundtrip(self, tmp_path):
+        A = read_matrix_market(MM_GENERAL.splitlines())
+        path = tmp_path / "matrix.mtx"
+        write_matrix_market(path, A, comment="roundtrip test")
+        B = read_matrix_market(path)
+        assert np.allclose(A.todense(), B.todense())
+
+
+class TestEdgeListReader:
+    def test_one_based_detection(self):
+        A = read_edge_list(["1 2", "2 3", "3 1"])
+        assert A.shape == (3, 3)
+        assert A.todense()[0, 1] == 1.0
+
+    def test_zero_based(self):
+        A = read_edge_list(["0 1", "1 2"])
+        assert A.shape == (3, 3)
+
+    def test_weights_and_comments(self):
+        A = read_edge_list(["% comment", "# another", "1 2 2.5", "2 1 0.5"])
+        dense = A.todense()
+        assert dense[0, 1] == 2.5 and dense[1, 0] == 0.5
+
+    def test_comma_separated(self):
+        A = read_edge_list(["1,2", "2,3"])
+        assert A.shape == (3, 3)
+
+    def test_duplicate_edges_accumulate(self):
+        A = read_edge_list(["1 2 1.0", "1 2 2.0"])
+        assert A.todense()[0, 1] == 3.0
+
+    def test_malformed_lines_skipped(self):
+        A = read_edge_list(["1 2", "garbage line", "x y", "2 3"])
+        assert A.nnz == 2
+
+    def test_empty_input(self):
+        A = read_edge_list([], num_vertices=4)
+        assert A.shape == (4, 4)
+        assert A.nnz == 0
+
+    def test_num_vertices_override(self):
+        A = read_edge_list(["1 2"], num_vertices=10)
+        assert A.shape == (10, 10)
+
+    def test_file_roundtrip(self, tmp_path, rng):
+        dense = np.zeros((5, 5))
+        dense[0, 1] = 2.0
+        dense[3, 4] = 1.5
+        A = CSRMatrix.from_dense(dense)
+        path = tmp_path / "graph.edges"
+        write_edge_list(path, A)
+        B = read_edge_list(path, num_vertices=5)
+        assert np.allclose(A.todense(), B.todense())
+
+    def test_unweighted_write(self, tmp_path):
+        A = CSRMatrix.from_dense(np.array([[0.0, 3.0], [0.0, 0.0]]))
+        path = tmp_path / "unweighted.edges"
+        write_edge_list(path, A, weighted=False)
+        B = read_edge_list(path)
+        assert B.todense()[0, 1] == 1.0

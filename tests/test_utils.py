@@ -1,0 +1,66 @@
+"""Tests of the utility helpers (parallel map, text rendering)."""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.utils import ascii_plot, format_table, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_parallel_two_workers(self):
+        assert parallel_map(_square, list(range(8)), workers=2) == [x * x for x in range(8)]
+
+    def test_all_cpus(self):
+        assert parallel_map(_square, [3, 4], workers=0) == [9, 16]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_single_item_runs_serially(self):
+        assert parallel_map(_square, [5], workers=8) == [25]
+
+
+class TestAsciiPlot:
+    def test_contains_legend_and_axes(self):
+        series = {
+            "takum16": [(10.0, -3.0), (50.0, -2.5), (100.0, -2.0)],
+            "bfloat16": [(10.0, -2.0), (50.0, -1.5), (100.0, -1.0)],
+        }
+        text = ascii_plot(series)
+        assert "takum16" in text and "bfloat16" in text
+        assert "percentile" in text
+        assert "log10" in text
+
+    def test_empty_series(self):
+        assert "no finite data points" in ascii_plot({"a": []})
+
+    def test_non_finite_points_skipped(self):
+        text = ascii_plot({"a": [(10.0, -1.0), (20.0, math.inf), (30.0, -2.0)]})
+        assert "a" in text
+
+    def test_degenerate_single_point(self):
+        text = ascii_plot({"a": [(50.0, -1.0)]})
+        assert "a" in text
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "value"], [["x", 1], ["longer", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text

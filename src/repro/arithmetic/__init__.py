@@ -14,6 +14,14 @@ work-precision values to the nearest representable value of the format) which
 is the primitive used by the compute contexts in
 :mod:`repro.arithmetic.context` to emulate "every scalar operation is
 performed in the target arithmetic".
+
+Formats of up to 16 bits are served by the shared lookup-table rounding
+engine (:mod:`repro.arithmetic.tables`): the finite value set is enumerated
+once per process, cached across contexts and pre-warmed before experiment
+workers fork, with a direct-indexed O(1) path for the 8-bit formats.  The
+analytic kernels remain available as ground truth
+(``round_array_analytic`` / ``use_tables=False`` /
+``REPRO_DISABLE_ROUNDING_TABLES=1``).
 """
 
 from .base import NumberFormat, RoundingInfo
@@ -26,6 +34,16 @@ from .registry import (
     get_format,
     available_formats,
     formats_by_width,
+    preload_tables,
+)
+from .tables import (
+    TABLE_CACHE,
+    TableCache,
+    TableSemantics,
+    ValueTable,
+    table_for,
+    tables_enabled,
+    set_enabled as set_tables_enabled,
 )
 from .context import (
     ComputeContext,
@@ -62,6 +80,14 @@ __all__ = [
     "get_format",
     "available_formats",
     "formats_by_width",
+    "preload_tables",
+    "TABLE_CACHE",
+    "TableCache",
+    "TableSemantics",
+    "ValueTable",
+    "table_for",
+    "tables_enabled",
+    "set_tables_enabled",
     "ComputeContext",
     "EmulatedContext",
     "NativeContext",

@@ -104,12 +104,17 @@ class NumberFormat(ABC):
     """A machine-number format emulated in software.
 
     Subclasses must provide bit-level ``decode_code``/representable-value
-    enumeration and a vectorised :meth:`round_array`.  All formats share the
-    conventions:
+    enumeration and a vectorised :meth:`round_array_analytic`.  All formats
+    share the conventions:
 
     * NaN in value space represents the format's NaN/NaR,
     * ``numpy.inf`` is only produced by formats that have infinities,
     * rounding is round-to-nearest with ties to the even code.
+
+    Formats of up to 16 bits that declare :meth:`table_semantics` are served
+    by the shared lookup-table engine (:mod:`repro.arithmetic.tables`) for
+    :meth:`round_array`, :meth:`encode` and :meth:`decode`; the analytic
+    implementations remain the ground truth the tables are verified against.
     """
 
     #: short identifier, e.g. ``"posit16"``
@@ -125,6 +130,28 @@ class NumberFormat(ABC):
     saturating: bool = False
 
     # ------------------------------------------------------------------ #
+    # lookup-table backend
+    # ------------------------------------------------------------------ #
+    def table_semantics(self):
+        """Describe this format to the shared lookup-table rounding engine.
+
+        Returns a :class:`repro.arithmetic.tables.TableSemantics` for formats
+        the engine can serve, ``None`` (the default) otherwise.
+        """
+        return None
+
+    def _rounding_table(self):
+        """The active :class:`~repro.arithmetic.tables.ValueTable`, if any."""
+        from . import tables
+
+        return tables.table_for(self)
+
+    @property
+    def table_backed(self) -> bool:
+        """Whether the lookup-table engine currently serves this format."""
+        return self._rounding_table() is not None
+
+    # ------------------------------------------------------------------ #
     # bit-level interface
     # ------------------------------------------------------------------ #
     @abstractmethod
@@ -136,6 +163,9 @@ class NumberFormat(ABC):
 
     def decode(self, codes) -> np.ndarray:
         """Vectorised decode of an array of integer codes."""
+        table = self._rounding_table()
+        if table is not None:
+            return table.decode_values(codes)
         codes = np.asarray(codes, dtype=np.uint64)
         out = np.empty(codes.shape, dtype=self.work_dtype)
         flat = codes.ravel()
@@ -144,17 +174,39 @@ class NumberFormat(ABC):
             res[i] = self.decode_code(int(flat[i]))
         return out
 
-    @abstractmethod
     def encode(self, values) -> np.ndarray:
         """Encode work-precision values into integer codes (nearest)."""
+        table = self._rounding_table()
+        if table is not None:
+            # round through whichever backend this format prefers (the 16-bit
+            # IEEE formats keep the cheaper analytic quantum rounding), then
+            # encode the representable results through the table
+            return table.encode_representable(self.round_array(values))
+        return self.encode_analytic(values)
+
+    @abstractmethod
+    def encode_analytic(self, values) -> np.ndarray:
+        """Analytic (table-free) implementation of :meth:`encode`."""
 
     # ------------------------------------------------------------------ #
     # value-space interface
     # ------------------------------------------------------------------ #
-    @abstractmethod
     def round_array(self, values) -> np.ndarray:
         """Round an array of work-precision values to the nearest
         representable values of this format (returned in work precision)."""
+        table = self._rounding_table()
+        if table is not None:
+            values = np.asarray(values, dtype=self.work_dtype)
+            if table.prefers_rounding(values.size):
+                return table.round_values(values)
+        return self.round_array_analytic(values)
+
+    @abstractmethod
+    def round_array_analytic(self, values) -> np.ndarray:
+        """Analytic (table-free) implementation of :meth:`round_array`.
+
+        Kept as the bit-level ground truth that the lookup-table engine is
+        verified against; also serves formats wider than 16 bits."""
 
     def round_scalar(self, value: float) -> float:
         """Round a single scalar; convenience wrapper over
@@ -201,7 +253,21 @@ class NumberFormat(ABC):
 
     @property
     def machine_epsilon(self) -> float:
-        """Distance between 1 and the next representable value above 1."""
+        """Distance between 1 and the next representable value above 1.
+
+        Memoised on the instance: formats without a closed form probe the
+        value via repeated :meth:`round_array` calls, which would otherwise
+        re-run on every access.
+        """
+        eps = self.__dict__.get("_machine_epsilon")
+        if eps is None:
+            eps = float(self._compute_machine_epsilon())
+            self._machine_epsilon = eps
+        return eps
+
+    def _compute_machine_epsilon(self) -> float:
+        """Probe the spacing above 1.0; overridden with closed forms by the
+        concrete formats."""
         one = np.asarray([1.0], dtype=self.work_dtype)
         nxt = self.round_array(one * (1.0 + 2.0 ** (-self.bits)))
         if float(nxt[0]) > 1.0:

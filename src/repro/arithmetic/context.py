@@ -351,9 +351,17 @@ class ReferenceContext(NativeContext):
 
 
 class EmulatedContext(ComputeContext):
-    """Context that rounds every elementary result to a software format."""
+    """Context that rounds every elementary result to a software format.
 
-    def __init__(self, fmt: NumberFormat | str, **kwargs):
+    Formats of up to 16 bits are transparently served by the shared
+    lookup-table rounding engine (:mod:`repro.arithmetic.tables`).
+    ``use_tables=False`` forces the analytic kernels (e.g. to verify the
+    table backend against its ground truth); ``use_tables=True`` forces the
+    table kernels even when the engine is globally disabled, and raises for
+    formats the engine cannot serve.
+    """
+
+    def __init__(self, fmt: NumberFormat | str, use_tables: Optional[bool] = None, **kwargs):
         super().__init__(**kwargs)
         if isinstance(fmt, str):
             fmt = get_format(fmt)
@@ -361,21 +369,45 @@ class EmulatedContext(ComputeContext):
         self.dtype = fmt.work_dtype
         self.name = fmt.name
         self.bits = fmt.bits
+        self.use_tables = use_tables
+        self._forced_table = None
+        if use_tables is True:
+            from .tables import TABLE_CACHE
+
+            self._forced_table = TABLE_CACHE.get(fmt)
+            if self._forced_table is None:
+                raise ValueError(
+                    f"use_tables=True: format {fmt.name!r} ({fmt.bits} bits) "
+                    "cannot be served by the lookup-table engine"
+                )
+        self._machine_epsilon: Optional[float] = None
 
     def round(self, values) -> np.ndarray:
-        return self.format.round_array(np.asarray(values, dtype=self.dtype))
+        values = np.asarray(values, dtype=self.dtype)
+        if self.use_tables is False:
+            return self.format.round_array_analytic(values)
+        if self._forced_table is not None:
+            return self._forced_table.round_values(values)
+        return self.format.round_array(values)
 
     @property
     def machine_epsilon(self) -> float:
-        return float(self.format.machine_epsilon)
+        # memoised: the fallback probe in NumberFormat rounds repeatedly and
+        # this property sits on hot solver paths (tolerances, eps floors)
+        if self._machine_epsilon is None:
+            self._machine_epsilon = float(self.format.machine_epsilon)
+        return self._machine_epsilon
 
 
-def get_context(name: str, **kwargs) -> ComputeContext:
+def get_context(name: str, use_tables: Optional[bool] = None, **kwargs) -> ComputeContext:
     """Build the compute context for a format name.
 
     ``float32`` and ``float64`` use hardware arithmetic; ``reference`` (also
     accepted as ``float128`` or ``longdouble``) uses the extended-precision
-    reference; every other registered format is emulated.
+    reference; every other registered format is emulated.  ``use_tables``
+    controls the lookup-table rounding backend of emulated contexts
+    (``None`` picks the table engine whenever the format is eligible;
+    ``False`` forces the analytic kernels for verification).
     """
     lowered = name.lower()
     if lowered in ("reference", "float128", "longdouble"):
@@ -384,4 +416,4 @@ def get_context(name: str, **kwargs) -> ComputeContext:
         return NativeContext(np.float64, name="float64", **kwargs)
     if lowered == "float32":
         return NativeContext(np.float32, name="float32", **kwargs)
-    return EmulatedContext(get_format(name), **kwargs)
+    return EmulatedContext(get_format(name), use_tables=use_tables, **kwargs)

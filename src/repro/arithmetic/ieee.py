@@ -74,9 +74,38 @@ class IEEEFormat(NumberFormat):
             (1 << self.mbits) + mant, exp_field - self.bias - self.mbits
         )
 
-    def encode(self, values) -> np.ndarray:
+    def table_semantics(self):
+        """IEEE semantics for the shared lookup-table rounding engine.
+
+        IEEE formats above 8 bits keep their analytic quantum rounding (a
+        handful of vector ops, measurably cheaper than a 2^15-entry
+        ``searchsorted``) and use the tables for vectorised encode/decode;
+        the 8-bit E5M2 gets the direct-indexed rounding path.
+        """
+        from .tables import DIRECT_INDEX_BITS, TableSemantics
+
+        inf_code = ((1 << self.ebits) - 1) << self.mbits
+        # round-to-nearest overflows to infinity from half an ulp (of the top
+        # binade) past the largest finite value; the threshold itself is a
+        # tie whose even neighbour is the next power of two, i.e. infinity
+        quantum_top = math.ldexp(1.0, self.emax - self.mbits)
+        return TableSemantics(
+            negation="sign_bit",
+            unsigned_zero=False,
+            underflow_to_min=False,
+            overflow_action="inf",
+            overflow_threshold=self._max_value + quantum_top / 2.0,
+            overflow_strict=False,
+            inf_result="inf",
+            nan_code=(1 << (self.bits - 1)) | inf_code | (1 << (self.mbits - 1)),
+            pos_inf_code=inf_code,
+            neg_inf_code=(1 << (self.bits - 1)) | inf_code,
+            prefer_table_rounding=self.bits <= DIRECT_INDEX_BITS,
+        )
+
+    def encode_analytic(self, values) -> np.ndarray:
         values = np.asarray(values, dtype=self.work_dtype)
-        rounded = self.round_array(values)
+        rounded = self.round_array_analytic(values)
         out = np.zeros(values.shape, dtype=np.uint64)
         flat = rounded.ravel()
         res = out.ravel()
@@ -122,7 +151,7 @@ class IEEEFormat(NumberFormat):
     # ------------------------------------------------------------------ #
     # value-space rounding
     # ------------------------------------------------------------------ #
-    def round_array(self, values) -> np.ndarray:
+    def round_array_analytic(self, values) -> np.ndarray:
         x = np.asarray(values, dtype=self.work_dtype)
         if self.ebits == 11 and self.mbits == 52:
             return x.astype(np.float64)
@@ -160,8 +189,7 @@ class IEEEFormat(NumberFormat):
         """Smallest positive normal magnitude."""
         return self._min_normal
 
-    @property
-    def machine_epsilon(self) -> float:
+    def _compute_machine_epsilon(self) -> float:
         return math.ldexp(1.0, -self.mbits)
 
 

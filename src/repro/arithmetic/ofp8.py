@@ -56,6 +56,28 @@ class OFP8E4M3(NumberFormat):
         self._magnitudes = np.asarray(mags, dtype=np.float64)[order]
         self._codes = np.asarray(codes, dtype=np.int64)[order]
 
+    def table_semantics(self):
+        """E4M3 semantics for the shared lookup-table rounding engine."""
+        from .tables import TableSemantics
+
+        if self.saturate:
+            return TableSemantics(
+                negation="sign_bit",
+                overflow_action="saturate",
+                inf_result="max",
+                nan_code=0x7F,
+                signed_zero_code=False,
+            )
+        return TableSemantics(
+            negation="sign_bit",
+            overflow_action="nan",
+            overflow_threshold=self._overflow_threshold,
+            overflow_strict=True,
+            inf_result="nan",
+            nan_code=0x7F,
+            signed_zero_code=False,
+        )
+
     # ------------------------------------------------------------------ #
     def decode_code(self, code: int) -> float:
         code = int(code) & 0xFF
@@ -68,9 +90,9 @@ class OFP8E4M3(NumberFormat):
             return sign * math.ldexp(mant, -6 - 3)
         return sign * math.ldexp(8 + mant, exp_field - self.bias - 3)
 
-    def encode(self, values) -> np.ndarray:
+    def encode_analytic(self, values) -> np.ndarray:
         values = np.asarray(values, dtype=self.work_dtype)
-        rounded = self.round_array(values)
+        rounded = self.round_array_analytic(values)
         out = np.zeros(values.shape, dtype=np.uint64)
         flat = rounded.ravel()
         res = out.ravel()
@@ -87,7 +109,7 @@ class OFP8E4M3(NumberFormat):
             res[i] = code
         return out
 
-    def round_array(self, values) -> np.ndarray:
+    def round_array_analytic(self, values) -> np.ndarray:
         x = np.asarray(values, dtype=self.work_dtype)
         out = np.empty(x.shape, dtype=self.work_dtype)
         nan_mask = np.isnan(x)
@@ -113,8 +135,7 @@ class OFP8E4M3(NumberFormat):
     def min_positive(self) -> float:
         return math.ldexp(1.0, -9)
 
-    @property
-    def machine_epsilon(self) -> float:
+    def _compute_machine_epsilon(self) -> float:
         return 0.125
 
 

@@ -90,9 +90,22 @@ class PositFormat(NumberFormat):
         value = np.ldexp(self.work_dtype(significand), int(scale - frac_bits))
         return self.work_dtype(sign) * value
 
-    def encode(self, values) -> np.ndarray:
+    def table_semantics(self):
+        """Posit semantics for the shared lookup-table rounding engine."""
+        from .tables import TableSemantics
+
+        return TableSemantics(
+            negation="twos_complement",
+            unsigned_zero=True,
+            underflow_to_min=True,
+            overflow_action="saturate",
+            inf_result="nan",
+            nan_code=1 << (self.bits - 1),
+        )
+
+    def encode_analytic(self, values) -> np.ndarray:
         values = np.asarray(values, dtype=self.work_dtype)
-        rounded = self.round_array(values)
+        rounded = self.round_array_analytic(values)
         out = np.zeros(values.shape, dtype=np.uint64)
         flat = rounded.ravel()
         res = out.ravel()
@@ -196,7 +209,7 @@ class PositFormat(NumberFormat):
     # ------------------------------------------------------------------ #
     # value-space rounding
     # ------------------------------------------------------------------ #
-    def round_array(self, values) -> np.ndarray:
+    def round_array_analytic(self, values) -> np.ndarray:
         x = np.asarray(values, dtype=self.work_dtype)
         out = np.empty(x.shape, dtype=self.work_dtype)
         self._ensure_tables()
@@ -270,8 +283,7 @@ class PositFormat(NumberFormat):
     def min_positive(self) -> float:
         return float(np.ldexp(self.work_dtype(1.0), -self._max_exp))
 
-    @property
-    def machine_epsilon(self) -> float:
+    def _compute_machine_epsilon(self) -> float:
         # fraction bits available around 1.0 (regime length 2)
         frac_bits = self.bits - 3 - self.es
         return math.ldexp(1.0, -frac_bits)

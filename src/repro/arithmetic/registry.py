@@ -14,7 +14,14 @@ from .ofp8 import E4M3, E5M2
 from .posit import POSIT8, POSIT16, POSIT32, POSIT64
 from .takum import TAKUM8, TAKUM16, TAKUM32, TAKUM64
 
-__all__ = ["FORMATS", "get_format", "available_formats", "formats_by_width", "PAPER_FORMATS"]
+__all__ = [
+    "FORMATS",
+    "get_format",
+    "available_formats",
+    "formats_by_width",
+    "PAPER_FORMATS",
+    "preload_tables",
+]
 
 #: every format instance known to the library, keyed by name
 FORMATS: dict[str, NumberFormat] = {
@@ -65,6 +72,21 @@ def get_format(name: str) -> NumberFormat:
 def available_formats() -> list[str]:
     """Names of all registered formats."""
     return list(FORMATS)
+
+
+def preload_tables(names=None) -> list[str]:
+    """Build the lookup-table rounding engine for the named formats.
+
+    Registered formats are process-wide singletons, so the tables built here
+    are shared by every context that uses them afterwards; the experiment
+    runner calls this before forking worker processes so workers inherit the
+    tables copy-on-write instead of re-enumerating the value sets.  Names
+    that are not registered formats (native/reference contexts) and formats
+    the engine cannot serve are skipped.  Returns the loaded format names.
+    """
+    from .tables import warm_tables
+
+    return warm_tables(names)
 
 
 def formats_by_width(bits: int) -> list[NumberFormat]:

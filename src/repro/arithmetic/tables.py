@@ -1,0 +1,559 @@
+"""Lookup-table rounding engine shared by every emulated format of <= 16 bits.
+
+Every elementary operation of an :class:`~repro.arithmetic.context.EmulatedContext`
+funnels through ``NumberFormat.round_array``, so the whole experiment pipeline
+is gated on per-format rounding throughput.  For storage widths of up to 16
+bits the finite value set of a format is small enough to enumerate once; this
+module turns that observation into a shared engine:
+
+* :class:`ValueTable` lazily enumerates all finite representable magnitudes
+  and codes of a format (via the format's own bit-accurate ``decode_code``,
+  which stays the single source of truth) and derives three vectorised
+  kernels from them:
+
+  - :meth:`ValueTable.round_values` — round-to-nearest with ties to the even
+    code via one ``searchsorted`` pass over the magnitude table;
+  - a **direct-indexed** path for 8-bit formats: the float32 bit pattern of
+    each input magnitude, truncated to its upper 16 bits, indexes a
+    precomputed 2^16-entry table derived from the format's midpoints.  Bucket
+    entries are only used where every value in the bucket provably rounds to
+    the same code (midpoint-free buckets); the remaining buckets fall back to
+    the ``searchsorted`` kernel, which keeps the fast path bit-exact;
+  - :meth:`ValueTable.encode_values` / :meth:`ValueTable.decode_values` —
+    vectorised bit-level conversion (``decode`` was previously a per-element
+    Python loop).
+
+* :class:`TableCache` is a process-wide registry keyed by format name.
+  Number formats are module-level singletons, so a table built once is shared
+  by every context of that format; :func:`warm_tables` pre-builds tables in
+  the parent process so forked experiment workers inherit them copy-on-write
+  instead of rebuilding per worker.
+
+Formats opt in by returning a :class:`TableSemantics` from
+``NumberFormat.table_semantics``; the descriptor captures the few behaviours
+that differ between format families (sign encoding, saturation, overflow and
+special-value policy).  The analytic ``round_array_analytic`` implementations
+remain in the format modules as the ground truth that the tables are verified
+against (``tests/test_tables.py``).
+
+The engine can be disabled globally with the environment variable
+``REPRO_DISABLE_ROUNDING_TABLES=1`` or at runtime with :func:`set_enabled`,
+and per context with ``get_context(name, use_tables=False)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import math
+import os
+import threading
+from typing import Optional
+
+import numpy as np
+
+from .base import NumberFormat, nearest_in_table
+
+__all__ = [
+    "TableSemantics",
+    "ValueTable",
+    "TableCache",
+    "TABLE_CACHE",
+    "table_for",
+    "warm_tables",
+    "set_enabled",
+    "tables_enabled",
+    "MAX_TABLE_BITS",
+    "DIRECT_INDEX_BITS",
+]
+
+#: widest format the engine will enumerate (2^15 positive codes)
+MAX_TABLE_BITS = 16
+#: widths that additionally get the direct-indexed float32-pattern path
+DIRECT_INDEX_BITS = 8
+#: arrays up to this size round element-wise in pure Python (a ``bisect``
+#: over the table beats ~10 NumPy dispatch round-trips on tiny arrays, the
+#: regime of the solvers' scalar Givens/QL operations)
+SCALAR_CUTOFF = 8
+
+_ENABLED = os.environ.get("REPRO_DISABLE_ROUNDING_TABLES", "").lower() not in (
+    "1",
+    "true",
+    "yes",
+)
+
+
+def set_enabled(enabled: bool) -> bool:
+    """Globally enable/disable the table backend; returns the previous state.
+
+    Intended for verification runs that want to force the analytic kernels
+    (``REPRO_DISABLE_ROUNDING_TABLES=1`` has the same effect at start-up).
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def tables_enabled() -> bool:
+    """Whether the table backend is globally enabled."""
+    return _ENABLED
+
+
+@dataclasses.dataclass(frozen=True)
+class TableSemantics:
+    """Format-family behaviours the shared kernels must reproduce.
+
+    Attributes
+    ----------
+    negation:
+        ``"sign_bit"`` (IEEE/OFP8 sign-magnitude codes) or
+        ``"twos_complement"`` (posit/takum negation).
+    unsigned_zero:
+        Format has a single unsigned zero (posits, takums); ``-0.0`` inputs
+        round to ``+0.0``.
+    underflow_to_min:
+        Rounding never flushes a non-zero magnitude to zero; it saturates at
+        the smallest positive value instead (tapered formats).
+    overflow_action:
+        ``"saturate"`` clamps at the largest finite magnitude; ``"inf"`` and
+        ``"nan"`` produce the respective special beyond ``overflow_threshold``.
+    overflow_threshold:
+        Magnitude at which ``"inf"``/``"nan"`` overflow fires (ignored for
+        ``"saturate"``).
+    overflow_strict:
+        ``True``: overflow only for magnitudes strictly above the threshold
+        (an exact threshold hit rounds down to the largest finite value);
+        ``False``: the threshold itself already overflows (IEEE
+        ties-to-even at the overflow boundary).
+    inf_result:
+        What an infinite *input* value becomes: ``"inf"`` (IEEE), ``"nan"``
+        (posit/takum NaR, OFP8 E4M3) or ``"max"`` (saturating E4M3).
+    nan_code:
+        Canonical NaN/NaR code produced by ``encode``.
+    pos_inf_code / neg_inf_code:
+        Infinity codes for formats that have them.
+    prefer_table_rounding:
+        Whether :meth:`ValueTable.round_values` should replace the format's
+        analytic ``round_array``.  Formats whose analytic kernel is already
+        cheaper than a 2^15-entry ``searchsorted`` (the binary IEEE formats
+        above 8 bits, whose quantum rounding is a handful of vector ops) set
+        this to ``False`` and still get table-backed ``encode``/``decode``.
+    """
+
+    negation: str = "sign_bit"
+    unsigned_zero: bool = False
+    underflow_to_min: bool = False
+    overflow_action: str = "saturate"
+    overflow_threshold: Optional[float] = None
+    overflow_strict: bool = True
+    inf_result: str = "nan"
+    nan_code: int = 0
+    pos_inf_code: Optional[int] = None
+    neg_inf_code: Optional[int] = None
+    prefer_table_rounding: bool = True
+    #: whether ``encode`` gives ``-0.0`` a distinct code (IEEE does; the
+    #: OFP8 E4M3 encoder canonicalises it to the all-zeros code)
+    signed_zero_code: bool = True
+
+
+class ValueTable:
+    """Enumerated value set of one format plus the vectorised kernels."""
+
+    __slots__ = (
+        "format_name",
+        "bits",
+        "work_dtype",
+        "semantics",
+        "decode_lut",
+        "magnitudes",
+        "codes",
+        "_midpoints",
+        "_direct_values",
+        "_mags_list",
+        "_codes_list",
+    )
+
+    def __init__(self, fmt: NumberFormat):
+        semantics = fmt.table_semantics()
+        if semantics is None:
+            raise ValueError(f"format {fmt.name!r} declares no table semantics")
+        if not 0 < fmt.bits <= MAX_TABLE_BITS:
+            raise ValueError(
+                f"format {fmt.name!r} is {fmt.bits} bits wide; tables support "
+                f"at most {MAX_TABLE_BITS} bits"
+            )
+        self.format_name = fmt.name
+        self.bits = int(fmt.bits)
+        self.work_dtype = fmt.work_dtype
+        self.semantics = semantics
+
+        # Full decode table over every code, built once from the format's
+        # bit-accurate scalar decoder (the single source of truth).
+        n_codes = 1 << self.bits
+        lut = np.empty(n_codes, dtype=np.float64)
+        decode_code = fmt.decode_code
+        for code in range(n_codes):
+            lut[code] = decode_code(code)
+        self.decode_lut = lut
+
+        # Non-negative finite magnitudes all live in the sign-clear half of
+        # the code space for every supported family (IEEE/OFP8 sign-magnitude
+        # and posit/takum two's complement alike).
+        half = lut[: n_codes // 2]
+        finite = np.isfinite(half)
+        magnitudes = half[finite]
+        codes = np.nonzero(finite)[0].astype(np.int64)
+        order = np.argsort(magnitudes, kind="stable")
+        self.magnitudes = np.ascontiguousarray(magnitudes[order])
+        self.codes = np.ascontiguousarray(codes[order])
+        if (
+            self.magnitudes.size < 2
+            or self.magnitudes[0] != 0.0
+            or np.any(np.diff(self.magnitudes) <= 0.0)
+        ):
+            raise ValueError(
+                f"format {fmt.name!r} violates the table engine's assumptions "
+                "(strictly increasing non-negative magnitudes starting at zero)"
+            )
+        # plain-Python copies feed the scalar fast path (bisect + float ops)
+        self._mags_list = self.magnitudes.tolist()
+        self._codes_list = self.codes.tolist()
+        self._midpoints: Optional[np.ndarray] = None
+        self._direct_values: Optional[np.ndarray] = None
+        if self.bits <= DIRECT_INDEX_BITS:
+            self._build_direct()
+
+    # ------------------------------------------------------------------ #
+    # derived tables
+    # ------------------------------------------------------------------ #
+    @property
+    def midpoints(self) -> np.ndarray:
+        """Midpoints between adjacent magnitudes (exact in float64: adjacent
+        representable magnitudes carry few significand bits)."""
+        if self._midpoints is None:
+            self._midpoints = (self.magnitudes[:-1] + self.magnitudes[1:]) * 0.5
+        return self._midpoints
+
+    def _build_direct(self) -> None:
+        """Precompute the 2^16-entry direct-index table for 8-bit formats.
+
+        Bucket ``h`` covers all float32 values whose bit pattern has upper
+        half ``h``.  A bucket is *pure* when no rounding decision boundary
+        (a midpoint between adjacent magnitudes, or the overflow threshold)
+        falls inside ``[start - ulp32, end)``: the one-ulp guard below the
+        bucket start covers float64 inputs whose float32 conversion rounds
+        *up into* the bucket (conversion can land on the representable
+        bucket start but can never carry a value down across it, so no upper
+        guard is needed — a boundary exactly at ``end`` belongs to the next
+        bucket).  Every magnitude in a pure bucket then rounds to the same
+        result, which is baked into the table (including
+        saturation-to-``minpos`` and overflow-to-inf policy).
+        Mixed buckets — one per decision boundary, plus the huge-magnitude
+        buckets of formats whose range exceeds float32 — hold ``-inf`` as a
+        sentinel and fall back to the ``searchsorted`` kernel, so the fast
+        path stays bit-exact, ties included (an exact tie always lands in a
+        mixed bucket).  The table is mirrored over the sign half so lookups
+        need no sign masking; baked-in overflow policy (±inf for IEEE, NaN
+        for E4M3) keeps overflowing inputs on the fast path as well.
+        """
+        sem = self.semantics
+        boundaries = self.midpoints
+        if sem.overflow_action != "saturate":
+            boundaries = np.sort(np.append(boundaries, sem.overflow_threshold))
+        n_buckets = 1 << 15  # upper-half patterns of non-negative float32s
+        patterns = np.arange(n_buckets + 1, dtype=np.uint32) << np.uint32(16)
+        with np.errstate(invalid="ignore"):
+            edges32 = patterns.view(np.float32)
+            # one-ulp guard band below every bucket start
+            lo = np.nextafter(edges32[:-1], np.float32(-np.inf)).astype(np.float64)
+            ends = edges32[1:].astype(np.float64)
+            starts = edges32[:-1].astype(np.float64)
+        # NaN guard bounds (patterns past +inf) sort past every boundary, so
+        # those dead buckets come out pure with the largest magnitude; they
+        # are only ever hit by NaN inputs, which the caller patches last.
+        mixed = np.searchsorted(boundaries, ends, side="left") > np.searchsorted(
+            boundaries, lo, side="left"
+        )
+        values = self.magnitudes[np.searchsorted(self.midpoints, starts, side="right")]
+        if sem.underflow_to_min:
+            # tapered formats never round a non-zero magnitude to zero; exact
+            # zeros are restored by the caller's unsigned-zero pass
+            values = np.maximum(values, self.magnitudes[1])
+        if sem.overflow_action != "saturate":
+            overflow = np.inf if sem.overflow_action == "inf" else np.nan
+            beyond = (
+                starts > sem.overflow_threshold
+                if sem.overflow_strict
+                else starts >= sem.overflow_threshold
+            )
+            values = np.where(beyond, overflow, values)
+        values[mixed] = -np.inf  # fallback sentinel (never a real magnitude)
+        # mirror over the sign half: bucket indices come straight from the
+        # upper 16 bits of the float32 pattern, sign bit included
+        self._direct_values = np.concatenate([values, values])
+
+    # ------------------------------------------------------------------ #
+    # magnitude rounding
+    # ------------------------------------------------------------------ #
+    def _finish_magnitudes(self, a: np.ndarray, mag: np.ndarray) -> np.ndarray:
+        """Apply the format's underflow/overflow policy to nearest-magnitude
+        results ``mag`` for input magnitudes ``a``."""
+        sem = self.semantics
+        if sem.underflow_to_min:
+            mag = np.where((mag == 0.0) & (a != 0.0), self.magnitudes[1], mag)
+        if sem.overflow_action != "saturate":
+            over = (
+                a > sem.overflow_threshold
+                if sem.overflow_strict
+                else a >= sem.overflow_threshold
+            )
+            special = np.inf if sem.overflow_action == "inf" else np.nan
+            mag = np.where(over, special, mag)
+        return mag
+
+    def _round_magnitudes(self, x: np.ndarray) -> np.ndarray:
+        """Magnitudes of ``x`` rounded to the format (ties to the even code),
+        with the underflow/overflow policy applied.  NaN/inf entries of ``x``
+        produce placeholder magnitudes the caller patches afterwards."""
+        if self._direct_values is not None:
+            flat = np.ravel(x)  # no copy for contiguous input; 0-d becomes 1-d
+            with np.errstate(over="ignore", invalid="ignore"):
+                f32 = flat.astype(np.float32)
+            bucket = f32.view(np.uint32) >> np.uint32(16)
+            mag = self._direct_values[bucket]
+            fallback = mag == -np.inf
+            if fallback.any():
+                sub = np.abs(flat[fallback])
+                clipped = np.minimum(sub, self.magnitudes[-1])
+                idx = nearest_in_table(clipped, self.magnitudes, self.codes)
+                mag[fallback] = self._finish_magnitudes(sub, self.magnitudes[idx])
+            return mag.reshape(x.shape)
+        a = np.abs(x)
+        clipped = np.minimum(a, self.magnitudes[-1])
+        idx = nearest_in_table(clipped, self.magnitudes, self.codes)
+        return self._finish_magnitudes(a, self.magnitudes[idx])
+
+    def prefers_rounding(self, size: int) -> bool:
+        """Whether the table backend should round an array of ``size``.
+
+        Formats that keep analytic vector rounding (16-bit IEEE) still win
+        from the scalar fast path on tiny arrays — the regime of the
+        solvers' elementwise Givens/QL operations.
+        """
+        return self.semantics.prefer_table_rounding or size <= SCALAR_CUTOFF
+
+    def _round_one(self, v: float) -> float:
+        """Scalar twin of the vector kernel: same clipping, same
+        ``nearest_in_table`` distance comparisons (Python floats are the same
+        IEEE doubles NumPy uses, so every operation matches bit for bit)."""
+        sem = self.semantics
+        if v != v:  # NaN
+            return math.nan
+        if v == math.inf or v == -math.inf:
+            if sem.inf_result == "inf":
+                return v
+            if sem.inf_result == "max":
+                return math.copysign(self._mags_list[-1], v)
+            return math.nan
+        if v == 0.0:
+            return 0.0 if sem.unsigned_zero else v
+        a = abs(v)
+        mags = self._mags_list
+        last = len(mags) - 1
+        clipped = a if a < mags[last] else mags[last]
+        hi = bisect.bisect_left(mags, clipped)
+        if hi > last:
+            hi = last
+        lo = hi - 1 if hi > 0 else 0
+        d_hi = abs(mags[hi] - clipped)
+        d_lo = abs(clipped - mags[lo])
+        if d_lo < d_hi or (d_lo == d_hi and self._codes_list[lo] % 2 == 0):
+            mag = mags[lo]
+        else:
+            mag = mags[hi]
+        if sem.underflow_to_min and mag == 0.0:
+            mag = mags[1]  # v is non-zero here: saturate at minpos
+        if sem.overflow_action != "saturate":
+            over = (
+                a > sem.overflow_threshold
+                if sem.overflow_strict
+                else a >= sem.overflow_threshold
+            )
+            if over:
+                if sem.overflow_action == "inf":
+                    return math.copysign(math.inf, v)
+                return math.nan
+        return math.copysign(mag, v)
+
+    # ------------------------------------------------------------------ #
+    # kernels
+    # ------------------------------------------------------------------ #
+    def round_values(self, values) -> np.ndarray:
+        """Round work-precision values to the nearest representable values.
+
+        Bit-identical to the format's ``round_array_analytic`` (verified by
+        the exhaustive sweeps in ``tests/test_tables.py``).
+        """
+        sem = self.semantics
+        x = np.asarray(values, dtype=self.work_dtype)
+        if x.size <= SCALAR_CUTOFF:
+            # tiny arrays (the solvers' scalar operations) skip the ~10
+            # NumPy dispatch round-trips of the vector path
+            out = np.empty(x.shape, dtype=self.work_dtype)
+            flat = out.ravel()
+            for i, v in enumerate(x.flat):
+                flat[i] = self._round_one(float(v))
+            return out
+        mag = self._round_magnitudes(x)
+        res = np.copysign(mag, x)
+        if sem.unsigned_zero:
+            res = np.where(x == 0.0, 0.0, res)
+        finite = np.isfinite(x)
+        if not finite.all():
+            inf_mask = np.isinf(x)
+            if sem.inf_result == "inf":
+                res = np.where(inf_mask, x, res)
+            elif sem.inf_result == "max":
+                res = np.where(inf_mask, np.copysign(self.magnitudes[-1], x), res)
+            else:
+                res = np.where(inf_mask, np.nan, res)
+            res = np.where(~finite & ~inf_mask, np.nan, res)
+        return res
+
+    def encode_values(self, values) -> np.ndarray:
+        """Round and encode values into integer codes (vectorised)."""
+        return self.encode_representable(self.round_values(values))
+
+    def encode_representable(self, res) -> np.ndarray:
+        """Encode values that are already exactly representable."""
+        sem = self.semantics
+        res = np.asarray(res, dtype=self.work_dtype)
+        finite = np.isfinite(res)
+        a = np.abs(np.where(finite, res, 0.0))
+        idx = np.searchsorted(self.magnitudes, a)
+        out = self.codes[idx].astype(np.uint64)
+        negative = np.signbit(res)
+        if not sem.signed_zero_code:
+            negative = negative & (res != 0.0)
+        if sem.negation == "twos_complement":
+            mask = np.uint64((1 << self.bits) - 1)
+            out = np.where(negative, (np.uint64(1 << self.bits) - out) & mask, out)
+        else:
+            out = np.where(negative, out | np.uint64(1 << (self.bits - 1)), out)
+        if sem.pos_inf_code is not None:
+            out = np.where(res == np.inf, np.uint64(sem.pos_inf_code), out)
+            out = np.where(res == -np.inf, np.uint64(sem.neg_inf_code), out)
+        out = np.where(np.isnan(res), np.uint64(sem.nan_code), out)
+        return out
+
+    def decode_values(self, codes) -> np.ndarray:
+        """Vectorised decode of an array of integer codes."""
+        codes = np.asarray(codes, dtype=np.uint64)
+        values = self.decode_lut[codes & np.uint64((1 << self.bits) - 1)]
+        return values.astype(self.work_dtype, copy=False)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the table set."""
+        total = self.decode_lut.nbytes + self.magnitudes.nbytes + self.codes.nbytes
+        for extra in (self._midpoints, self._direct_values):
+            if extra is not None:
+                total += extra.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        kind = "direct" if self._direct_values is not None else "searchsorted"
+        return (
+            f"<ValueTable {self.format_name!r} ({self.magnitudes.size} magnitudes, "
+            f"{kind}, {self.nbytes // 1024} KiB)>"
+        )
+
+
+class TableCache:
+    """Process-wide cache of :class:`ValueTable` instances.
+
+    Tables are memoised both on the format instance (formats are module-level
+    singletons, so every context of a format shares one table) and in a
+    name-keyed registry for introspection and pre-warming.  Worker processes
+    forked after :func:`warm_tables` inherit the parent's tables
+    copy-on-write instead of rebuilding them.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._tables: dict[str, ValueTable] = {}
+
+    @staticmethod
+    def supports(fmt: NumberFormat) -> bool:
+        """Whether the engine can serve this format."""
+        return (
+            0 < fmt.bits <= MAX_TABLE_BITS
+            and np.dtype(fmt.work_dtype) == np.dtype(np.float64)
+            and fmt.table_semantics() is not None
+        )
+
+    def get(self, fmt: NumberFormat) -> Optional[ValueTable]:
+        """Table for ``fmt``, built on first use; ``None`` if unsupported."""
+        cached = fmt.__dict__.get("_value_table", _UNBUILT)
+        if cached is not _UNBUILT:
+            return cached
+        with self._lock:
+            cached = fmt.__dict__.get("_value_table", _UNBUILT)
+            if cached is not _UNBUILT:
+                return cached
+            table = ValueTable(fmt) if self.supports(fmt) else None
+            fmt._value_table = table
+            if table is not None:
+                self._tables.setdefault(fmt.name, table)
+            return table
+
+    def loaded(self) -> list[str]:
+        """Names of the formats whose tables have been built."""
+        with self._lock:
+            return sorted(self._tables)
+
+    def nbytes(self) -> int:
+        """Total memory footprint of all built tables."""
+        with self._lock:
+            return sum(table.nbytes for table in self._tables.values())
+
+
+class _Unbuilt:
+    """Sentinel distinguishing 'never built' from 'ineligible (None)'."""
+
+    __slots__ = ()
+
+
+_UNBUILT = _Unbuilt()
+
+#: the process-wide table registry
+TABLE_CACHE = TableCache()
+
+
+def table_for(fmt: NumberFormat) -> Optional[ValueTable]:
+    """The active :class:`ValueTable` for ``fmt``, or ``None`` when the
+    format is not table-eligible or the engine is disabled."""
+    if not _ENABLED:
+        return None
+    return TABLE_CACHE.get(fmt)
+
+
+def warm_tables(format_names=None) -> list[str]:
+    """Pre-build tables for the named formats (all registered when ``None``).
+
+    Returns the names whose tables are loaded.  Called by the experiment
+    runner before spawning worker processes so that forked workers share the
+    parent's tables instead of each re-enumerating the value sets.
+    """
+    from .registry import FORMATS
+
+    names = list(FORMATS) if format_names is None else list(format_names)
+    loaded = []
+    for name in names:
+        fmt = FORMATS.get(name)
+        if fmt is None:
+            continue  # native/reference contexts have no emulated format
+        if table_for(fmt) is not None:
+            loaded.append(name)
+    return loaded

@@ -93,9 +93,22 @@ class TakumFormat(NumberFormat):
         significand = (1 << (p + 1)) - mantissa  # (2 - m) * 2^p
         return -np.ldexp(self.work_dtype(significand), int(-c - 1 - p))
 
-    def encode(self, values) -> np.ndarray:
+    def table_semantics(self):
+        """Takum semantics for the shared lookup-table rounding engine."""
+        from .tables import TableSemantics
+
+        return TableSemantics(
+            negation="twos_complement",
+            unsigned_zero=True,
+            underflow_to_min=True,
+            overflow_action="saturate",
+            inf_result="nan",
+            nan_code=1 << (self.bits - 1),
+        )
+
+    def encode_analytic(self, values) -> np.ndarray:
         values = np.asarray(values, dtype=self.work_dtype)
-        rounded = self.round_array(values)
+        rounded = self.round_array_analytic(values)
         out = np.zeros(values.shape, dtype=np.uint64)
         flat = rounded.ravel()
         res = out.ravel()
@@ -170,7 +183,7 @@ class TakumFormat(NumberFormat):
     # ------------------------------------------------------------------ #
     # value-space rounding
     # ------------------------------------------------------------------ #
-    def round_array(self, values) -> np.ndarray:
+    def round_array_analytic(self, values) -> np.ndarray:
         x = np.asarray(values, dtype=self.work_dtype)
         out = np.empty(x.shape, dtype=self.work_dtype)
         self._ensure_tables()
@@ -227,8 +240,7 @@ class TakumFormat(NumberFormat):
     def min_positive(self) -> float:
         return float(self._min_positive)
 
-    @property
-    def machine_epsilon(self) -> float:
+    def _compute_machine_epsilon(self) -> float:
         # around 1.0: c = 0 -> r = 0 -> p = n - 5 mantissa bits
         return math.ldexp(1.0, -(self.bits - 5))
 

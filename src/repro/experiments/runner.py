@@ -15,6 +15,7 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from ..arithmetic.context import ReferenceContext, get_context
+from ..arithmetic.registry import preload_tables
 from ..core.krylov_schur import partialschur
 from ..datasets.testmatrix import TestMatrix
 from ..utils.parallel import parallel_map
@@ -242,6 +243,10 @@ def run_experiment(
         plus all formats) so reference solutions are never recomputed.
     """
     config = config or ExperimentConfig()
+    # Build the lookup-table rounding engine once in this process: forked
+    # workers inherit the tables copy-on-write instead of re-enumerating the
+    # value sets per worker, and the serial path pays the build exactly once.
+    preload_tables(formats)
     tasks = [_Task(tm, tuple(formats), config) for tm in suite]
     experiments = parallel_map(_run_task, tasks, workers=workers)
     records: list[RunRecord] = []

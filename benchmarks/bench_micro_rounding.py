@@ -5,6 +5,14 @@ Measures ``round_array`` throughput of the lookup-table engine
 table-eligible format.  The acceptance bar for the engine is >= 3x on the
 8-bit formats, where the direct-indexed float32-pattern path applies.
 
+The *scalar* section measures per-scalar rounding at solver-call sizes for
+the wide (32/64-bit) formats the tables cannot serve: the old route (one
+``round_array_analytic`` call on a 1-element ndarray, which is what every
+scalar Givens/QL operation paid before the scalar kernels existed) against
+the new ``round_scalar`` fast path, plus the context-level scalar ``add``
+(the end-to-end per-operation cost inside the solvers).  The acceptance bar
+for the scalar kernels is >= 5x on posit32/takum32/float64.
+
 Run under pytest-benchmark::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_micro_rounding.py --benchmark-only
@@ -22,11 +30,13 @@ import time
 import numpy as np
 import pytest
 
-from repro.arithmetic import get_format, table_for
+from repro.arithmetic import get_context, get_format, table_for
 
 EIGHT_BIT = ["E4M3", "E5M2", "posit8", "takum8"]
 SIXTEEN_BIT = ["float16", "bfloat16", "posit16", "takum16"]
 FORMATS = EIGHT_BIT + SIXTEEN_BIT
+#: wide formats served by the analytic scalar kernels instead of tables
+WIDE_FORMATS = ["float32", "float64", "posit32", "posit64", "takum32", "takum64"]
 
 #: benchmark workload size (values per round_array call)
 N_VALUES = 1 << 16
@@ -68,6 +78,42 @@ def test_rounding_throughput(benchmark, fmt_name, backend, values):
 
 
 # --------------------------------------------------------------------- #
+# wide-format scalar rounding (solver-call sizes)
+# --------------------------------------------------------------------- #
+def _scalar_round_old(fmt, value):
+    """Pre-scalar-kernel route: wrap, round through the vector analytic
+    kernel, unwrap — what each scalar solver operation paid before."""
+    return float(fmt.round_array_analytic(np.asarray([value], dtype=fmt.work_dtype))[0])
+
+
+def _scalar_round_new(fmt, value):
+    return fmt.round_scalar(value)
+
+
+SCALAR_BACKENDS = {"array_old": _scalar_round_old, "scalar_new": _scalar_round_new}
+
+
+@pytest.mark.parametrize("fmt_name", WIDE_FORMATS)
+@pytest.mark.parametrize("backend", sorted(SCALAR_BACKENDS))
+def test_wide_scalar_rounding(benchmark, fmt_name, backend):
+    fmt = get_format(fmt_name)
+    runner = SCALAR_BACKENDS[backend]
+    runner(fmt, 0.7354)  # warm per-format scalar state
+    benchmark(lambda: runner(fmt, 0.7354))
+
+
+@pytest.mark.parametrize("fmt_name", ["posit32", "takum32", "posit64", "float64"])
+def test_context_scalar_add(benchmark, fmt_name):
+    """End-to-end per-operation cost of one scalar context op (the unit the
+    solvers' Givens/QL loops are made of)."""
+    ctx = get_context(fmt_name)
+    a = ctx.round_scalar(0.3123)
+    b = ctx.round_scalar(1.7)
+    ctx.add(a, b)
+    benchmark(lambda: ctx.add(a, b))
+
+
+# --------------------------------------------------------------------- #
 # standalone report
 # --------------------------------------------------------------------- #
 def _median_throughput(func, values, repeats: int = 15, inner: int = 8) -> float:
@@ -79,6 +125,50 @@ def _median_throughput(func, values, repeats: int = 15, inner: int = 8) -> float
             func(values)
         samples.append((time.perf_counter() - start) / inner)
     return values.size / float(np.median(samples))
+
+
+def _median_call_time(func, repeats: int = 7, inner: int = 2000) -> float:
+    """Median seconds per call of a cheap scalar function."""
+    func()  # warm-up
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            func()
+        samples.append((time.perf_counter() - start) / inner)
+    return float(np.median(samples))
+
+
+def run_scalar_report() -> list[str]:
+    """Wide-format scalar rounding: old array route vs new scalar kernels."""
+    lines = [
+        "Scalar rounding at solver-call sizes (per-call cost, one value)",
+        "old: round_array_analytic on a 1-element ndarray (pre-kernel route)",
+        "new: round_scalar through the pure-Python scalar kernels",
+        "",
+        f"{'format':<10s} {'old [us]':>10s} {'new [us]':>10s} {'speedup':>9s}",
+    ]
+    for fmt_name in WIDE_FORMATS:
+        fmt = get_format(fmt_name)
+        old_s, new_s = [], []
+        for _ in range(3):  # interleave to cancel CPU frequency drift
+            old_s.append(_median_call_time(lambda: _scalar_round_old(fmt, 0.7354)))
+            new_s.append(_median_call_time(lambda: _scalar_round_new(fmt, 0.7354)))
+        t_old = float(np.median(old_s))
+        t_new = float(np.median(new_s))
+        lines.append(
+            f"{fmt_name:<10s} {t_old * 1e6:>10.2f} {t_new * 1e6:>10.2f} "
+            f"{t_old / t_new:>8.2f}x"
+        )
+    lines.append("")
+    lines.append("Context-level scalar add (one rounded elementary operation)")
+    lines.append(f"{'format':<10s} {'add [us]':>10s}")
+    for fmt_name in ["posit32", "takum32", "posit64", "takum64", "float64"]:
+        ctx = get_context(fmt_name)
+        a, b = ctx.round_scalar(0.3123), ctx.round_scalar(1.7)
+        t_add = _median_call_time(lambda: ctx.add(a, b))
+        lines.append(f"{fmt_name:<10s} {t_add * 1e6:>10.2f}")
+    return lines
 
 
 def run_report() -> str:
@@ -108,6 +198,8 @@ def run_report() -> str:
         "float16/bfloat16, whose analytic quantum kernel is faster than a "
         "2^15-entry searchsorted (they still use table encode/decode)."
     )
+    lines.append("")
+    lines.extend(run_scalar_report())
     return "\n".join(lines) + "\n"
 
 

@@ -9,6 +9,21 @@ table — the same artefacts the benchmark harness produces for all figures.
 Run with::
 
     python examples/format_comparison.py [n_matrices]
+
+Expected output for ``python examples/format_comparison.py 2`` (re-run
+2026-07, after the scalar-fast-path PR; the ASCII plots below the table are
+omitted here)::
+
+    running 2 general matrices x 4 formats ...
+
+    Figure 1(b) — general matrices, 16-bit formats (scaled down)
+    --- 16-bit formats (log10 relative errors) ---
+    format    runs  ok  inf_omega  inf_sigma  lam p25  lam p50  lam p75  vec p50
+    --------  ----  --  ---------  ---------  -------  -------  -------  -------
+    float16   2     2   0          0          -2.57    -2.57    -2.56    -1.35
+    takum16   2     2   0          0          -2.59    -2.55    -2.52    -1.30
+    posit16   2     2   0          0          -3.11    -3.08    -3.05    -1.64
+    bfloat16  2     2   0          0          -1.97    -1.91    -1.86    -0.50
 """
 
 import sys

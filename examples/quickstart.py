@@ -14,6 +14,24 @@ This is the minimal end-to-end use of the library's public API:
 Run with::
 
     python examples/quickstart.py
+
+Expected output (re-run 2026-07, after the scalar-fast-path PR; exact error
+digits depend on the BLAS/libm build, statuses and error magnitudes should
+match)::
+
+    matrix: ca/ca_0000  n=59  nnz=287
+
+    reference eigenvalues (10 largest):
+      1.765444  1.747625  1.691764  1.682296  1.666047  1.622901  ...
+
+    format     status        lambda rel err  vector rel err
+    float64    ok                 9.026e-16       9.219e-14
+    float32    ok                 4.847e-07       8.391e-05
+    takum16    ok                 4.189e-03       3.295e-01
+    posit16    ok                 1.888e-03       9.159e-02
+    bfloat16   ok                 2.281e-02       7.520e-01
+    float16    ok                 2.137e-03       3.321e-01
+    E4M3       ok                 1.372e-01       1.323e+00
 """
 
 import numpy as np

@@ -18,9 +18,13 @@ performed in the target arithmetic".
 Formats of up to 16 bits are served by the shared lookup-table rounding
 engine (:mod:`repro.arithmetic.tables`): the finite value set is enumerated
 once per process, cached across contexts and pre-warmed before experiment
-workers fork, with a direct-indexed O(1) path for the 8-bit formats.  The
-analytic kernels remain available as ground truth
-(``round_array_analytic`` / ``use_tables=False`` /
+workers fork, with a direct-indexed O(1) path for the 8-bit formats.  Wider
+formats carry pure-Python scalar kernels (``round_scalar_analytic``) that
+serve scalars and tiny arrays — the regime of the solvers' elementwise
+operations — without NumPy dispatch overhead; see
+``docs/architecture.md`` for the full dispatch matrix.  The analytic vector
+kernels remain available as ground truth (``round_array_analytic`` /
+``use_tables=False`` / ``set_tables_enabled(False)`` /
 ``REPRO_DISABLE_ROUNDING_TABLES=1``).
 """
 

@@ -12,13 +12,43 @@ storage, interchange and testing.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 from abc import ABC, abstractmethod
 from typing import Optional
 
 import numpy as np
 
-__all__ = ["NumberFormat", "RoundingInfo", "round_to_quantum", "nearest_in_table"]
+__all__ = [
+    "NumberFormat",
+    "RoundingInfo",
+    "round_to_quantum",
+    "nearest_in_table",
+    "nearest_in_table_scalar",
+    "MAX_TABLE_BITS",
+    "SCALAR_CUTOFF",
+    "WIDE_SCALAR_CUTOFF",
+]
+
+#: widest format the lookup-table engine will enumerate (2^15 positive
+#: codes).  Lives here rather than in :mod:`repro.arithmetic.tables` so the
+#: dispatch in :meth:`NumberFormat.round_scalar` can skip the table lookup
+#: for formats that can never be table-served; re-exported by ``tables``.
+MAX_TABLE_BITS = 16
+
+#: arrays up to this size round element-wise in pure Python when a lookup
+#: table is available (a ``bisect`` over the table beats ~10 NumPy dispatch
+#: round-trips on tiny arrays, the regime of the solvers' scalar Givens/QL
+#: operations).  Re-exported by :mod:`repro.arithmetic.tables`.
+SCALAR_CUTOFF = 8
+
+#: arrays up to this size round element-wise through the pure-Python
+#: analytic scalar kernels (:meth:`NumberFormat.round_scalar_analytic`) for
+#: formats the table engine cannot serve (posit/takum/IEEE wider than 16
+#: bits).  The wide vector kernels pay ~25 NumPy dispatch round-trips
+#: (~35 us) regardless of size while a scalar call costs ~1.5 us, so the
+#: break-even sits near 24 elements.
+WIDE_SCALAR_CUTOFF = 24
 
 
 @dataclasses.dataclass
@@ -52,10 +82,20 @@ class RoundingInfo:
 def round_to_quantum(x: np.ndarray, quantum: np.ndarray) -> np.ndarray:
     """Round ``x`` to the nearest integer multiple of ``quantum``.
 
-    ``quantum`` must consist of powers of two so that the division and
-    multiplication are exact; ties are resolved towards the even multiple
-    (``numpy.rint`` semantics), which coincides with round-half-to-even on the
-    retained significand bit.
+    Parameters
+    ----------
+    x:
+        Values to round (any float dtype, broadcastable with ``quantum``).
+    quantum:
+        Per-element rounding grain.  Must consist of powers of two so that
+        the division and multiplication are exact.
+
+    Returns
+    -------
+    numpy.ndarray
+        Nearest multiples; ties are resolved towards the even multiple
+        (``numpy.rint`` semantics), which coincides with round-half-to-even
+        on the retained significand bit.
     """
     return np.rint(x / quantum) * quantum
 
@@ -100,6 +140,44 @@ def nearest_in_table(
     return np.where(take_lo, lo, hi)
 
 
+def nearest_in_table_scalar(a, magnitudes, codes=None) -> int:
+    """Scalar twin of :func:`nearest_in_table` for one non-negative value.
+
+    Parameters
+    ----------
+    a:
+        One non-negative finite value (Python float or work-dtype scalar).
+    magnitudes:
+        Sorted (ascending) sequence of representable non-negative magnitudes
+        (a plain list for float64 work precision, a NumPy array for
+        ``longdouble`` so that the distance arithmetic keeps the extended
+        precision).
+    codes:
+        Optional parallel sequence of integer codes; ties resolve towards the
+        even code exactly as in the vector kernel, otherwise towards the
+        smaller magnitude.
+
+    Returns
+    -------
+    int
+        Index of the nearest entry.  Every comparison mirrors the vector
+        kernel operation for operation (Python floats are the same IEEE
+        doubles NumPy uses), so the result is bit-identical.
+    """
+    last = len(magnitudes) - 1
+    hi = bisect.bisect_left(magnitudes, a)
+    if hi > last:
+        hi = last
+    lo = hi - 1 if hi > 0 else 0
+    d_hi = abs(magnitudes[hi] - a)
+    d_lo = abs(a - magnitudes[lo])
+    if d_lo < d_hi:
+        return lo
+    if d_lo == d_hi and (codes[lo] % 2 == 0 if codes is not None else True):
+        return lo
+    return hi
+
+
 class NumberFormat(ABC):
     """A machine-number format emulated in software.
 
@@ -115,6 +193,23 @@ class NumberFormat(ABC):
     by the shared lookup-table engine (:mod:`repro.arithmetic.tables`) for
     :meth:`round_array`, :meth:`encode` and :meth:`decode`; the analytic
     implementations remain the ground truth the tables are verified against.
+
+    Formats the table engine cannot serve (wider than 16 bits) may declare a
+    pure-Python scalar kernel instead (:attr:`has_scalar_kernel` /
+    :meth:`round_scalar_analytic`): :meth:`round_array` then routes arrays of
+    up to :attr:`scalar_cutoff` elements — the regime of the solvers'
+    elementwise Givens/QL operations — through the scalar kernel, which
+    skips the ~25 NumPy dispatch round-trips of the vector kernels.  The
+    scalar kernels are verified bit-identical to :meth:`round_array_analytic`
+    by the sweeps in ``tests/test_scalar_rounding.py``.
+
+    Both fast backends can be bypassed for verification, from coarse to
+    fine: the ``REPRO_DISABLE_ROUNDING_TABLES=1`` environment variable and
+    :func:`repro.arithmetic.tables.set_enabled` disable the table engine
+    process-wide, and ``get_context(name, use_tables=False)`` forces one
+    context onto the analytic *vector* kernels for arrays and scalars
+    alike, bypassing the scalar kernels as well (``use_tables=True``
+    forces the tables even when globally disabled).
     """
 
     #: short identifier, e.g. ``"posit16"``
@@ -128,6 +223,13 @@ class NumberFormat(ABC):
     #: whether out-of-range magnitudes saturate (tapered formats) instead of
     #: overflowing to infinity/NaN
     saturating: bool = False
+    #: whether :meth:`round_scalar_analytic` implements a fast scalar kernel
+    #: (as opposed to the default fallback through the vector kernel)
+    has_scalar_kernel: bool = False
+    #: largest array size :meth:`round_array` routes through the scalar
+    #: kernel when no lookup table serves the format; 0 disables the scalar
+    #: dispatch (formats whose vector kernel is a plain dtype cast)
+    scalar_cutoff: int = WIDE_SCALAR_CUTOFF
 
     # ------------------------------------------------------------------ #
     # lookup-table backend
@@ -162,7 +264,20 @@ class NumberFormat(ABC):
         """
 
     def decode(self, codes) -> np.ndarray:
-        """Vectorised decode of an array of integer codes."""
+        """Vectorised decode of an array of integer codes.
+
+        Parameters
+        ----------
+        codes:
+            Integer codes (any shape; converted to ``uint64``).
+
+        Returns
+        -------
+        numpy.ndarray
+            Work-precision values, same shape as ``codes``.  Served by the
+            lookup-table engine when it covers this format, otherwise by a
+            per-element :meth:`decode_code` loop.
+        """
         table = self._rounding_table()
         if table is not None:
             return table.decode_values(codes)
@@ -175,7 +290,20 @@ class NumberFormat(ABC):
         return out
 
     def encode(self, values) -> np.ndarray:
-        """Encode work-precision values into integer codes (nearest)."""
+        """Encode work-precision values into integer codes (nearest).
+
+        Parameters
+        ----------
+        values:
+            Work-precision values (any shape).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``uint64`` codes, same shape as ``values``; each value is first
+            rounded through :meth:`round_array`, then encoded (non-canonical
+            NaNs collapse to the canonical NaN/NaR code).
+        """
         table = self._rounding_table()
         if table is not None:
             # round through whichever backend this format prefers (the 16-bit
@@ -193,25 +321,83 @@ class NumberFormat(ABC):
     # ------------------------------------------------------------------ #
     def round_array(self, values) -> np.ndarray:
         """Round an array of work-precision values to the nearest
-        representable values of this format (returned in work precision)."""
+        representable values of this format (returned in work precision).
+
+        Dispatches by (format width, array size):
+
+        * table-served formats (<= 16 bits) route through the lookup-table
+          engine whenever it prefers the size (always for tiny arrays, and
+          for every size unless the format keeps a cheaper analytic vector
+          kernel, like the 16-bit IEEE quantum rounding);
+        * wider formats with a scalar kernel route arrays of up to
+          :attr:`scalar_cutoff` elements through
+          :meth:`round_scalar_analytic` element by element;
+        * everything else falls through to the vectorised
+          :meth:`round_array_analytic` ground truth.
+        """
         table = self._rounding_table()
+        values = np.asarray(values, dtype=self.work_dtype)
         if table is not None:
-            values = np.asarray(values, dtype=self.work_dtype)
             if table.prefers_rounding(values.size):
                 return table.round_values(values)
+        elif self.has_scalar_kernel and values.size <= self.scalar_cutoff:
+            return self._round_small_array(values)
         return self.round_array_analytic(values)
+
+    def _round_small_array(self, values: np.ndarray) -> np.ndarray:
+        """Round a tiny array element-wise through the scalar kernel."""
+        out = np.empty(values.shape, dtype=self.work_dtype)
+        flat = out.ravel()
+        kernel = self.round_scalar_analytic
+        for i, v in enumerate(values.flat):
+            flat[i] = kernel(v)
+        return out
 
     @abstractmethod
     def round_array_analytic(self, values) -> np.ndarray:
         """Analytic (table-free) implementation of :meth:`round_array`.
 
-        Kept as the bit-level ground truth that the lookup-table engine is
-        verified against; also serves formats wider than 16 bits."""
+        Kept as the bit-level ground truth that the lookup-table engine and
+        the scalar kernels are verified against; also serves large arrays of
+        formats wider than 16 bits."""
+
+    def round_scalar_analytic(self, value):
+        """Scalar twin of :meth:`round_array_analytic` for one value.
+
+        Parameters
+        ----------
+        value:
+            One work-precision value (Python float or work-dtype scalar).
+
+        Returns
+        -------
+        A work-precision scalar (Python float for float64 formats, a
+        ``numpy.longdouble`` scalar for extended-precision formats),
+        bit-identical to what the vector kernel produces for the same input.
+
+        The default implementation falls back to the vector kernel; formats
+        that set :attr:`has_scalar_kernel` override it with a pure-Python
+        (``math.frexp``/``math.ldexp``) kernel that skips NumPy dispatch.
+        """
+        return self.round_array_analytic(
+            np.asarray([value], dtype=self.work_dtype)
+        )[0]
 
     def round_scalar(self, value: float) -> float:
-        """Round a single scalar; convenience wrapper over
-        :meth:`round_array`."""
-        return float(self.round_array(np.asarray([value], dtype=self.work_dtype))[0])
+        """Round a single scalar without an ndarray round-trip.
+
+        Routes through the lookup-table scalar path when the table engine
+        serves this format, through :meth:`round_scalar_analytic` when a
+        scalar kernel exists, and falls back to the vector kernel otherwise.
+        Returns a Python float (wide extended-precision formats lose the
+        sub-float64 bits here; use :meth:`round_scalar_analytic` to keep the
+        work precision).
+        """
+        if self.bits <= MAX_TABLE_BITS:
+            table = self._rounding_table()
+            if table is not None:
+                return table.round_one(float(value))
+        return float(self.round_scalar_analytic(value))
 
     def convert(self, values) -> tuple[np.ndarray, RoundingInfo]:
         """Convert ``values`` into the format, reporting range diagnostics.

@@ -18,17 +18,36 @@ use a pairwise (tree) reduction by default — each partial sum is rounded — s
 the whole kernel is expressible with a logarithmic number of vectorised
 passes; a strictly sequential accumulation order is available for the
 accumulation-order ablation study.
+
+Scalar operands bypass ndarrays entirely: the elementary operations detect
+them, compute in the work precision (Python floats for float64 contexts,
+NumPy scalars for float32/longdouble) and round through ``round_scalar`` —
+the lookup-table ``bisect`` path for narrow formats, the pure-Python
+analytic scalar kernels for wide ones.  This is the regime of the solvers'
+Givens/QL operations, where NumPy dispatch on 1-element arrays used to
+dominate wide-format wall time.
 """
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from typing import Optional
 
 import numpy as np
 
-from .base import NumberFormat, RoundingInfo
+from .base import MAX_TABLE_BITS, NumberFormat, RoundingInfo
 from .registry import get_format
+
+#: operand types the elementary operations treat as scalars
+_SCALAR_TYPES = (float, int, np.floating, np.integer)
+
+
+def _is_scalar(x) -> bool:
+    """Whether ``x`` is a scalar operand (Python number, NumPy scalar or
+    0-d array) that the elementary operations can keep out of ndarray
+    round-trips."""
+    return isinstance(x, _SCALAR_TYPES) or (isinstance(x, np.ndarray) and x.ndim == 0)
 
 __all__ = [
     "ComputeContext",
@@ -81,14 +100,37 @@ class ComputeContext(ABC):
     # primitives
     # ------------------------------------------------------------------ #
     @abstractmethod
-    def round(self, values) -> np.ndarray:
-        """Round work-precision values to the context's arithmetic."""
+    def round(self, values):
+        """Round work-precision values to the context's arithmetic.
+
+        Array inputs return an ndarray of :attr:`dtype`; scalar and 0-d
+        inputs return a work-dtype *scalar* (via :meth:`round_scalar`), so
+        scalars never round-trip through ndarrays.  ``asarray`` inherits
+        the same convention.
+        """
+
+    def round_scalar(self, value):
+        """Round one work-precision scalar into the context.
+
+        Scalar twin of :meth:`round`: takes a Python/NumPy scalar and
+        returns a work-dtype scalar without any ndarray round-trip.  This is
+        the path the elementary operations use for scalar operands (the
+        solvers' Givens/QL regime).  The default implementation falls back
+        to the array kernel; subclasses override it with direct scalar
+        dispatch.
+        """
+        return self.round(np.asarray([value], dtype=self.dtype))[0]
 
     def asarray(self, values) -> np.ndarray:
-        """Convert arbitrary data into the context (rounding each entry)."""
+        """Convert arbitrary data into the context (rounding each entry).
+
+        Scalar inputs come back as work-dtype scalars, everything else as
+        an ndarray of :attr:`dtype` (the :meth:`round` convention).
+        """
         return self.round(np.asarray(values, dtype=self.dtype))
 
     def zeros(self, shape) -> np.ndarray:
+        """An all-zeros array of the context's storage dtype."""
         return np.zeros(shape, dtype=self.dtype)
 
     def _tally(self, n: int) -> None:
@@ -98,32 +140,83 @@ class ComputeContext(ABC):
     # ------------------------------------------------------------------ #
     # elementwise operations (each result is rounded once)
     # ------------------------------------------------------------------ #
+    # Scalar operands take a pure-scalar path: the work-precision operation
+    # runs on Python floats (float64 contexts) or NumPy scalars (float32 /
+    # longdouble, whose arithmetic must stay in the work precision) and the
+    # result is rounded through ``round_scalar`` — no ndarray round-trip.
+    # This is the regime of the solvers' elementwise Givens/QL operations,
+    # where NumPy dispatch on 1-element arrays dominates the arithmetic.
+
     def add(self, a, b):
+        """Rounded elementwise ``a + b`` (scalars stay scalars)."""
+        if _is_scalar(a) and _is_scalar(b):
+            self._tally(1)
+            if self.dtype is np.float64:
+                return self.round_scalar(float(a) + float(b))
+            return self.round_scalar(self.dtype(a) + self.dtype(b))
         self._tally(np.broadcast(a, b).size)
         return self.round(np.add(a, b, dtype=self.dtype))
 
     def sub(self, a, b):
+        """Rounded elementwise ``a - b`` (scalars stay scalars)."""
+        if _is_scalar(a) and _is_scalar(b):
+            self._tally(1)
+            if self.dtype is np.float64:
+                return self.round_scalar(float(a) - float(b))
+            return self.round_scalar(self.dtype(a) - self.dtype(b))
         self._tally(np.broadcast(a, b).size)
         return self.round(np.subtract(a, b, dtype=self.dtype))
 
     def mul(self, a, b):
+        """Rounded elementwise ``a * b`` (scalars stay scalars)."""
+        if _is_scalar(a) and _is_scalar(b):
+            self._tally(1)
+            if self.dtype is np.float64:
+                return self.round_scalar(float(a) * float(b))
+            return self.round_scalar(self.dtype(a) * self.dtype(b))
         self._tally(np.broadcast(a, b).size)
         return self.round(np.multiply(a, b, dtype=self.dtype))
 
     def div(self, a, b):
+        """Rounded elementwise ``a / b`` (scalars stay scalars)."""
+        if _is_scalar(a) and _is_scalar(b):
+            self._tally(1)
+            if self.dtype is np.float64:
+                fb = float(b)
+                if fb == 0.0:
+                    # IEEE inf/nan semantics (plus the RuntimeWarning the
+                    # vector path would emit) instead of ZeroDivisionError
+                    return self.round_scalar(float(np.divide(float(a), fb)))
+                return self.round_scalar(float(a) / fb)
+            return self.round_scalar(np.divide(self.dtype(a), self.dtype(b)))
         self._tally(np.broadcast(a, b).size)
         return self.round(np.divide(a, b, dtype=self.dtype))
 
     def sqrt(self, a):
+        """Rounded elementwise square root (scalars stay scalars)."""
+        if _is_scalar(a):
+            self._tally(1)
+            if self.dtype is np.float64:
+                fa = float(a)
+                # math.sqrt raises on negative input where the vector kernel
+                # yields NaN; NaN inputs propagate through math.sqrt fine
+                return self.round_scalar(
+                    math.sqrt(fa) if fa >= 0.0 or fa != fa else math.nan
+                )
+            return self.round_scalar(np.sqrt(self.dtype(a)))
         self._tally(np.size(a))
         return self.round(np.sqrt(np.asarray(a, dtype=self.dtype)))
 
     def neg(self, a):
-        # sign flips are exact in every supported format
+        """Exact negation (sign flips are exact in every supported format)."""
+        if _is_scalar(a):
+            return -self.dtype(a)
         return np.negative(np.asarray(a, dtype=self.dtype))
 
     def abs(self, a):
-        # magnitude is representable whenever the value is
+        """Exact magnitude (representable whenever the value is)."""
+        if _is_scalar(a):
+            return abs(self.dtype(a))
         return np.abs(np.asarray(a, dtype=self.dtype))
 
     def hypot(self, a, b):
@@ -329,11 +422,20 @@ class NativeContext(ComputeContext):
         self.name = name or np.dtype(dtype).name
         self.bits = np.dtype(dtype).itemsize * 8
 
-    def round(self, values) -> np.ndarray:
+    def round(self, values):
+        """Hardware dtypes round by conversion (a cast is the rounding);
+        scalar inputs return dtype scalars."""
+        if _is_scalar(values):
+            return self.dtype(values)
         return np.asarray(values, dtype=self.dtype)
+
+    def round_scalar(self, value):
+        """Hardware dtypes round by conversion; returns a dtype scalar."""
+        return self.dtype(value)
 
     @property
     def machine_epsilon(self) -> float:
+        """Spacing above 1.0 of the hardware dtype (``numpy.finfo`` eps)."""
         return float(np.finfo(self.dtype).eps)
 
 
@@ -354,11 +456,26 @@ class EmulatedContext(ComputeContext):
     """Context that rounds every elementary result to a software format.
 
     Formats of up to 16 bits are transparently served by the shared
-    lookup-table rounding engine (:mod:`repro.arithmetic.tables`).
-    ``use_tables=False`` forces the analytic kernels (e.g. to verify the
-    table backend against its ground truth); ``use_tables=True`` forces the
-    table kernels even when the engine is globally disabled, and raises for
-    formats the engine cannot serve.
+    lookup-table rounding engine (:mod:`repro.arithmetic.tables`); wider
+    formats round scalars through their pure-Python scalar kernels and
+    arrays through the analytic vector kernels (the dispatch matrix is
+    documented in ``docs/architecture.md``).
+
+    Parameters
+    ----------
+    fmt:
+        Target :class:`~repro.arithmetic.base.NumberFormat` or registry
+        name.
+    use_tables:
+        Rounding-backend override, the finest level of the opt-out
+        hierarchy (below ``REPRO_DISABLE_ROUNDING_TABLES`` and
+        :func:`repro.arithmetic.tables.set_enabled`):  ``None`` (default)
+        picks the fastest bit-identical backend; ``False`` forces the
+        analytic *vector* kernels for arrays and scalars alike, bypassing
+        the tables and the scalar kernels (so either fast path can be
+        verified against the ground truth); ``True`` forces the table
+        kernels even when the engine is globally disabled, and raises for
+        formats the engine cannot serve.
     """
 
     def __init__(self, fmt: NumberFormat | str, use_tables: Optional[bool] = None, **kwargs):
@@ -382,7 +499,11 @@ class EmulatedContext(ComputeContext):
                 )
         self._machine_epsilon: Optional[float] = None
 
-    def round(self, values) -> np.ndarray:
+    def round(self, values):
+        """Round values to the format through the selected backend (scalar
+        inputs return work-dtype scalars via :meth:`round_scalar`)."""
+        if _is_scalar(values):
+            return self.round_scalar(values)
         values = np.asarray(values, dtype=self.dtype)
         if self.use_tables is False:
             return self.format.round_array_analytic(values)
@@ -390,10 +511,36 @@ class EmulatedContext(ComputeContext):
             return self._forced_table.round_values(values)
         return self.format.round_array(values)
 
+    def round_scalar(self, value):
+        """Round one scalar to the format without an ndarray round-trip.
+
+        Honours the same backend selection as :meth:`round`:
+        ``use_tables=False`` forces the analytic scalar kernel,
+        ``use_tables=True`` the forced table's scalar path, and the default
+        picks the table engine when it serves the format, then the format's
+        scalar kernel, then the vector fallback.  Returns a work-dtype
+        scalar (``longdouble`` formats keep their extended precision).
+        """
+        fmt = self.format
+        if self.use_tables is False:
+            # verification mode: force the vector analytic ground truth,
+            # bypassing the scalar kernels as well as the tables (so a
+            # suspect fast path can actually be isolated)
+            return fmt.round_array_analytic(np.asarray([value], dtype=self.dtype))[0]
+        table = self._forced_table
+        if table is None and fmt.bits <= MAX_TABLE_BITS:
+            table = fmt._rounding_table()
+        if table is not None:
+            return self.dtype(table.round_one(float(value)))
+        if fmt.has_scalar_kernel:
+            return self.dtype(fmt.round_scalar_analytic(value))
+        return fmt.round_array(np.asarray([value], dtype=self.dtype))[0]
+
     @property
     def machine_epsilon(self) -> float:
-        # memoised: the fallback probe in NumberFormat rounds repeatedly and
-        # this property sits on hot solver paths (tolerances, eps floors)
+        """Spacing above 1.0 of the emulated format (memoised: the fallback
+        probe in NumberFormat rounds repeatedly and this property sits on
+        hot solver paths — tolerances, eps floors)."""
         if self._machine_epsilon is None:
             self._machine_epsilon = float(self.format.machine_epsilon)
         return self._machine_epsilon

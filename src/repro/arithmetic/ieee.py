@@ -37,6 +37,7 @@ class IEEEFormat(NumberFormat):
     has_infinity = True
     saturating = False
     work_dtype = np.float64
+    has_scalar_kernel = True
 
     def __init__(self, ebits: int, mbits: int, name: str):
         if ebits < 2 or mbits < 1:
@@ -55,11 +56,25 @@ class IEEEFormat(NumberFormat):
         )
         self._min_positive = float(math.ldexp(1.0, self.emin - self.mbits))
         self._min_normal = float(math.ldexp(1.0, self.emin))
+        # float32/float64 round via a single hardware cast; there the vector
+        # kernel beats any per-element Python loop, so the small-array scalar
+        # dispatch is disabled (the scalar kernel itself stays available for
+        # the contexts' scalar elementary operations)
+        self._cast_dtype = None
+        if (self.ebits, self.mbits) == (11, 52):
+            self._cast_dtype = np.float64
+            self.scalar_cutoff = 0
+        elif (self.ebits, self.mbits) == (8, 23):
+            self._cast_dtype = np.float32
+            self.scalar_cutoff = 0
 
     # ------------------------------------------------------------------ #
     # bit-level
     # ------------------------------------------------------------------ #
     def decode_code(self, code: int) -> float:
+        """Decode one IEEE code (sign, biased exponent, mantissa) into its
+        float64 value: subnormals for exponent field 0, ±inf/NaN for the
+        all-ones exponent field."""
         code = int(code) & ((1 << self.bits) - 1)
         sign = -1.0 if (code >> (self.bits - 1)) & 1 else 1.0
         exp_field = (code >> self.mbits) & ((1 << self.ebits) - 1)
@@ -104,6 +119,9 @@ class IEEEFormat(NumberFormat):
         )
 
     def encode_analytic(self, values) -> np.ndarray:
+        """Analytic (table-free) encode: round through the analytic kernel,
+        then emit the sign/exponent/mantissa fields per element.  Returns
+        ``uint64`` codes of the same shape as ``values``."""
         values = np.asarray(values, dtype=self.work_dtype)
         rounded = self.round_array_analytic(values)
         out = np.zeros(values.shape, dtype=np.uint64)
@@ -151,7 +169,57 @@ class IEEEFormat(NumberFormat):
     # ------------------------------------------------------------------ #
     # value-space rounding
     # ------------------------------------------------------------------ #
+    def round_scalar_analytic(self, value):
+        """Scalar twin of :meth:`round_array_analytic` for one value.
+
+        ``float64`` is the identity, ``float32`` one hardware cast; every
+        other width runs the pure-Python quantum kernel
+        (``math.frexp``/``math.ldexp``, ties to even via Python's banker
+        ``round``) with gradual underflow and overflow to signed infinity,
+        bit-identical to the vector kernel — including the sign of zero.
+        """
+        v = float(value)
+        if self._cast_dtype is np.float64:
+            return v
+        if self._cast_dtype is not None:
+            return float(np.float32(v))
+        return self._round_scalar_quantum(v)
+
+    def round_scalar(self, value: float) -> float:
+        """Scalar rounding without table lookup for the cast formats.
+
+        ``float64`` values round to themselves and ``float32`` needs one
+        hardware cast, so those formats skip the generic table/kernel
+        dispatch of :meth:`NumberFormat.round_scalar` entirely — this is
+        the hottest scalar path of the native-width solver runs.
+        """
+        if self._cast_dtype is np.float64:
+            return float(value)
+        if self._cast_dtype is not None:
+            return float(np.float32(value))
+        return super().round_scalar(value)
+
+    def _round_scalar_quantum(self, v: float) -> float:
+        """Pure-Python quantum rounding of one float (non-cast widths)."""
+        if v != v or v == math.inf or v == -math.inf:
+            return v  # non-finite values pass through unchanged
+        if v == 0.0:
+            return v  # preserve the sign of zero
+        a = -v if v < 0.0 else v
+        exp = math.frexp(a)[1] - 1
+        if exp < self.emin:
+            exp = self.emin  # gradual underflow: subnormal quantum
+        qexp = exp - self.mbits
+        mag = float(round(math.ldexp(a, -qexp))) * math.ldexp(1.0, qexp)
+        if mag > self._max_value:
+            mag = math.inf
+        return -mag if v < 0.0 else mag
+
     def round_array_analytic(self, values) -> np.ndarray:
+        """Vectorised ground-truth rounding: a single hardware cast for
+        float32/float64, otherwise quantum rounding at the magnitude's
+        (clamped) binade — gradual underflow below ``emin``, overflow to
+        the signed infinity beyond ``max_value``."""
         x = np.asarray(values, dtype=self.work_dtype)
         if self.ebits == 11 and self.mbits == 52:
             return x.astype(np.float64)
@@ -178,10 +246,12 @@ class IEEEFormat(NumberFormat):
     # ------------------------------------------------------------------ #
     @property
     def max_value(self) -> float:
+        """Largest finite magnitude ``(2 - 2^-mbits) * 2^emax``."""
         return self._max_value
 
     @property
     def min_positive(self) -> float:
+        """Smallest positive (subnormal) magnitude ``2^(emin - mbits)``."""
         return self._min_positive
 
     @property

@@ -21,18 +21,31 @@ import math
 
 import numpy as np
 
-from .base import NumberFormat, nearest_in_table
+from .base import SCALAR_CUTOFF, NumberFormat, nearest_in_table, nearest_in_table_scalar
 from .ieee import IEEEFormat
 
 __all__ = ["OFP8E4M3", "OFP8E5M2", "E4M3", "E5M2"]
 
 
 class OFP8E4M3(NumberFormat):
-    """OFP8 E4M3: 4 exponent bits, 3 mantissa bits, bias 7, no infinities."""
+    """OFP8 E4M3: 4 exponent bits, 3 mantissa bits, bias 7, no infinities.
+
+    Parameters
+    ----------
+    saturate:
+        Overflow policy: ``False`` (specification default) maps overflowing
+        magnitudes to NaN, ``True`` clamps them to ±448.
+    name:
+        Registry name; defaults to ``"E4M3"`` / ``"E4M3sat"``.
+    """
 
     bits = 8
     has_infinity = False
     work_dtype = np.float64
+    has_scalar_kernel = True
+    # the analytic vector kernel is itself a searchsorted over the value
+    # table, so the scalar bisect only wins in the table-engine cutoff regime
+    scalar_cutoff = SCALAR_CUTOFF
 
     #: magnitude beyond which round-to-nearest can no longer return 448
     _overflow_threshold = 464.0
@@ -42,6 +55,7 @@ class OFP8E4M3(NumberFormat):
         self.name = name or ("E4M3sat" if saturate else "E4M3")
         self.bias = 7
         self._build_table()
+        self._scalar_state: tuple | None = None
 
     def _build_table(self) -> None:
         mags = []
@@ -80,6 +94,9 @@ class OFP8E4M3(NumberFormat):
 
     # ------------------------------------------------------------------ #
     def decode_code(self, code: int) -> float:
+        """Decode one E4M3 code: IEEE-style fields except the all-ones
+        exponent still encodes normals, with ``S.1111.111`` the only NaN
+        and no infinities."""
         code = int(code) & 0xFF
         sign = -1.0 if code & 0x80 else 1.0
         exp_field = (code >> 3) & 0xF
@@ -91,6 +108,9 @@ class OFP8E4M3(NumberFormat):
         return sign * math.ldexp(8 + mant, exp_field - self.bias - 3)
 
     def encode_analytic(self, values) -> np.ndarray:
+        """Analytic (table-free) encode: round through the analytic kernel,
+        then look each magnitude up in the enumerated code table.  Returns
+        ``uint64`` codes; ``-0.0`` canonicalises to the all-zeros code."""
         values = np.asarray(values, dtype=self.work_dtype)
         rounded = self.round_array_analytic(values)
         out = np.zeros(values.shape, dtype=np.uint64)
@@ -109,7 +129,34 @@ class OFP8E4M3(NumberFormat):
             res[i] = code
         return out
 
+    def round_scalar_analytic(self, value):
+        """Scalar twin of :meth:`round_array_analytic` for one value.
+
+        Bisect over the enumerated magnitude table with ties to the even
+        code, plus the configured overflow policy (NaN above 464, or
+        saturation at ±448); bit-identical to the vector kernel, including
+        the sign of zero.
+        """
+        state = self._scalar_state
+        if state is None:
+            state = (self._magnitudes.tolist(), self._codes.tolist())
+            self._scalar_state = state
+        v = float(value)
+        if v != v:
+            return math.nan
+        a = -v if v < 0.0 else v
+        if a > self._overflow_threshold:  # includes infinite inputs
+            mag = 448.0 if self.saturate else math.nan
+        else:
+            mags, codes = state
+            mag = mags[nearest_in_table_scalar(a, mags, codes)]
+        return math.copysign(mag, v)
+
     def round_array_analytic(self, values) -> np.ndarray:
+        """Vectorised ground-truth rounding: nearest entry of the
+        enumerated magnitude table (ties to the even code), with the
+        configured overflow policy above 464 (NaN, or ±448 when
+        saturating)."""
         x = np.asarray(values, dtype=self.work_dtype)
         out = np.empty(x.shape, dtype=self.work_dtype)
         nan_mask = np.isnan(x)
@@ -129,10 +176,12 @@ class OFP8E4M3(NumberFormat):
 
     @property
     def max_value(self) -> float:
+        """Largest finite magnitude (code ``S.1111.110``)."""
         return 448.0
 
     @property
     def min_positive(self) -> float:
+        """Smallest positive (subnormal) magnitude ``2^-9``."""
         return math.ldexp(1.0, -9)
 
     def _compute_machine_epsilon(self) -> float:

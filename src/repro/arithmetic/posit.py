@@ -25,16 +25,34 @@ import math
 
 import numpy as np
 
-from .base import NumberFormat, nearest_in_table, round_to_quantum
+from .base import (
+    SCALAR_CUTOFF,
+    WIDE_SCALAR_CUTOFF,
+    NumberFormat,
+    nearest_in_table,
+    nearest_in_table_scalar,
+    round_to_quantum,
+)
 
 __all__ = ["PositFormat", "POSIT8", "POSIT16", "POSIT32", "POSIT64"]
 
 
 class PositFormat(NumberFormat):
-    """Posit format of width ``nbits`` with ``es`` exponent bits (default 2)."""
+    """Posit format of width ``nbits`` with ``es`` exponent bits (default 2).
+
+    Parameters
+    ----------
+    nbits:
+        Storage width in bits (at least 3).
+    es:
+        Number of exponent bits (2 in the 2022 standard).
+    name:
+        Registry name; defaults to ``"posit<nbits>"``.
+    """
 
     saturating = True
     has_infinity = False
+    has_scalar_kernel = True
 
     def __init__(self, nbits: int, es: int = 2, name: str | None = None):
         if nbits < 3:
@@ -54,11 +72,20 @@ class PositFormat(NumberFormat):
         self._codes: np.ndarray | None = None
         self._lo_table: tuple[np.ndarray, np.ndarray] | None = None
         self._hi_table: tuple[np.ndarray, np.ndarray] | None = None
+        self._scalar_state: tuple | None = None
+        # the longdouble kernel pays NumPy scalar dispatch (~4 us/element),
+        # which moves its break-even against the vector kernel down to ~8
+        self.scalar_cutoff = (
+            WIDE_SCALAR_CUTOFF if self.work_dtype is np.float64 else SCALAR_CUTOFF
+        )
 
     # ------------------------------------------------------------------ #
     # bit-level
     # ------------------------------------------------------------------ #
     def decode_code(self, code: int):
+        """Decode one posit code (sign, regime run, exponent, fraction) into
+        its work-precision value; ``0`` decodes to 0.0 and ``10…0`` to NaR
+        (NaN).  Negative codes are two's-complement of the positive pattern."""
         n = self.bits
         code = int(code) & ((1 << n) - 1)
         if code == 0:
@@ -104,6 +131,9 @@ class PositFormat(NumberFormat):
         )
 
     def encode_analytic(self, values) -> np.ndarray:
+        """Analytic (table-free) encode: round through the analytic kernel,
+        then emit the posit bit pattern per element.  Returns ``uint64``
+        codes of the same shape as ``values``."""
         values = np.asarray(values, dtype=self.work_dtype)
         rounded = self.round_array_analytic(values)
         out = np.zeros(values.shape, dtype=np.uint64)
@@ -206,10 +236,133 @@ class PositFormat(NumberFormat):
                 np.asarray(hi_codes, dtype=np.int64)[order],
             )
 
+    def _build_scalar_state(self) -> tuple:
+        """Assemble the constants the scalar kernel needs, once per format.
+
+        For float64 work precision the tables are converted to plain Python
+        lists and floats (``bisect`` plus float arithmetic beat NumPy scalar
+        dispatch); the 64-bit format keeps ``longdouble`` arrays/scalars so
+        the scalar arithmetic stays in extended precision.
+        """
+        self._ensure_tables()
+        if self._full_table:
+            state = (self._magnitudes.tolist(), self._codes.tolist())
+        else:
+            one = self.work_dtype(1.0)
+            maxpos = np.ldexp(one, self._max_exp)
+            minpos = np.ldexp(one, -self._max_exp)
+            lo_b = np.ldexp(one, self._k_lo * self._useed_exp)
+            hi_b = np.ldexp(one, (self._k_hi + 1) * self._useed_exp)
+            lo_mags, lo_codes = self._lo_table
+            hi_mags, hi_codes = self._hi_table
+            if self.work_dtype is np.float64:
+                state = (
+                    float(maxpos),
+                    float(minpos),
+                    float(lo_b),
+                    float(hi_b),
+                    lo_mags.tolist(),
+                    lo_codes.tolist(),
+                    hi_mags.tolist(),
+                    hi_codes.tolist(),
+                )
+            else:
+                state = (
+                    maxpos,
+                    minpos,
+                    lo_b,
+                    hi_b,
+                    lo_mags,
+                    lo_codes,
+                    hi_mags,
+                    hi_codes,
+                )
+        self._scalar_state = state
+        return state
+
+    def round_scalar_analytic(self, value):
+        """Scalar twin of :meth:`round_array_analytic` for one value.
+
+        Pure-Python ``math.frexp``/``math.ldexp`` kernel (NumPy scalar ops
+        for the extended-precision 64-bit format), bit-identical to the
+        vector kernel: same clamp to ``maxpos``, same binade-quantum
+        rounding with ties to even, same extreme-regime tables, same
+        saturation.  Verified by ``tests/test_scalar_rounding.py``.
+        """
+        state = self._scalar_state
+        if state is None:
+            state = self._build_scalar_state()
+        if self.work_dtype is np.float64:
+            v = float(value)
+            if v != v or v == math.inf or v == -math.inf:
+                return math.nan  # posit NaR; infinities only arise from x/0
+            if v == 0.0:
+                return 0.0  # single unsigned zero
+            a = -v if v < 0.0 else v
+            if self._full_table:
+                mags, codes = state
+                last = mags[-1]
+                clipped = a if a < last else last
+                mag = mags[nearest_in_table_scalar(clipped, mags, codes)]
+                if mag == 0.0:
+                    mag = self.min_positive  # never round non-zero to zero
+            else:
+                maxpos, minpos, lo_b, hi_b, lo_mags, lo_codes, hi_mags, hi_codes = state
+                safe = a if a < maxpos else maxpos
+                if safe < lo_b:
+                    mag = lo_mags[nearest_in_table_scalar(safe, lo_mags, lo_codes)]
+                elif safe >= hi_b:
+                    mag = hi_mags[nearest_in_table_scalar(safe, hi_mags, hi_codes)]
+                else:
+                    exp = math.frexp(safe)[1] - 1
+                    k = exp // self._useed_exp
+                    frac_bits = self.bits - 1 - (k + 2 if k >= 0 else 1 - k) - self.es
+                    if frac_bits < 0:
+                        frac_bits = 0
+                    qexp = exp - frac_bits
+                    mag = float(round(math.ldexp(safe, -qexp))) * math.ldexp(1.0, qexp)
+                if mag < minpos:
+                    mag = minpos
+                elif mag > maxpos:
+                    mag = maxpos
+            return -mag if v < 0.0 else mag
+        # extended-precision (longdouble) twin: same structure, NumPy scalars
+        wd = self.work_dtype
+        v = value if isinstance(value, wd) else wd(value)
+        if v != v or v == np.inf or v == -np.inf:
+            return wd(np.nan)
+        if v == 0.0:
+            return wd(0.0)
+        a = -v if v < 0.0 else v
+        maxpos, minpos, lo_b, hi_b, lo_mags, lo_codes, hi_mags, hi_codes = state
+        safe = a if a < maxpos else maxpos
+        if safe < lo_b:
+            mag = lo_mags[nearest_in_table_scalar(safe, lo_mags, lo_codes)]
+        elif safe >= hi_b:
+            mag = hi_mags[nearest_in_table_scalar(safe, hi_mags, hi_codes)]
+        else:
+            exp = int(np.frexp(safe)[1]) - 1
+            k = exp // self._useed_exp
+            frac_bits = self.bits - 1 - (k + 2 if k >= 0 else 1 - k) - self.es
+            if frac_bits < 0:
+                frac_bits = 0
+            qexp = exp - frac_bits
+            mag = np.rint(np.ldexp(safe, -qexp)) * np.ldexp(wd(1.0), qexp)
+        if mag < minpos:
+            mag = minpos
+        elif mag > maxpos:
+            mag = maxpos
+        return -mag if v < 0.0 else mag
+
     # ------------------------------------------------------------------ #
     # value-space rounding
     # ------------------------------------------------------------------ #
     def round_array_analytic(self, values) -> np.ndarray:
+        """Vectorised ground-truth rounding.  Formats of <= 16 bits use an
+        exact table of representable magnitudes; wider formats use an
+        analytic binade-quantum computation with small tables for the
+        extreme regime regions (where fewer than one fraction bit
+        survives).  Saturates at minpos/maxpos, maps inf to NaR."""
         x = np.asarray(values, dtype=self.work_dtype)
         out = np.empty(x.shape, dtype=self.work_dtype)
         self._ensure_tables()
@@ -277,10 +430,12 @@ class PositFormat(NumberFormat):
     # ------------------------------------------------------------------ #
     @property
     def max_value(self) -> float:
+        """Largest finite magnitude ``maxpos = 2^(2^es * (n - 2))``."""
         return float(np.ldexp(self.work_dtype(1.0), self._max_exp))
 
     @property
     def min_positive(self) -> float:
+        """Smallest positive magnitude ``minpos = 1 / maxpos``."""
         return float(np.ldexp(self.work_dtype(1.0), -self._max_exp))
 
     def _compute_machine_epsilon(self) -> float:

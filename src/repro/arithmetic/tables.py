@@ -43,7 +43,6 @@ and per context with ``get_context(name, use_tables=False)``.
 
 from __future__ import annotations
 
-import bisect
 import dataclasses
 import math
 import os
@@ -52,7 +51,14 @@ from typing import Optional
 
 import numpy as np
 
-from .base import NumberFormat, nearest_in_table
+from .base import (
+    MAX_TABLE_BITS,
+    SCALAR_CUTOFF,
+    WIDE_SCALAR_CUTOFF,
+    NumberFormat,
+    nearest_in_table,
+    nearest_in_table_scalar,
+)
 
 __all__ = [
     "TableSemantics",
@@ -65,16 +71,18 @@ __all__ = [
     "tables_enabled",
     "MAX_TABLE_BITS",
     "DIRECT_INDEX_BITS",
+    "SCALAR_CUTOFF",
+    "WIDE_SCALAR_CUTOFF",
 ]
 
-#: widest format the engine will enumerate (2^15 positive codes)
-MAX_TABLE_BITS = 16
 #: widths that additionally get the direct-indexed float32-pattern path
 DIRECT_INDEX_BITS = 8
-#: arrays up to this size round element-wise in pure Python (a ``bisect``
-#: over the table beats ~10 NumPy dispatch round-trips on tiny arrays, the
-#: regime of the solvers' scalar Givens/QL operations)
-SCALAR_CUTOFF = 8
+
+# MAX_TABLE_BITS and the SCALAR_CUTOFF / WIDE_SCALAR_CUTOFF size thresholds
+# (below which rounding dispatches to the pure-Python scalar paths: the
+# table ``bisect`` kernel and the analytic scalar kernels of the wide
+# formats respectively) live in :mod:`repro.arithmetic.base`, which owns
+# the dispatch, and are re-exported here for backwards compatibility.
 
 _ENABLED = os.environ.get("REPRO_DISABLE_ROUNDING_TABLES", "").lower() not in (
     "1",
@@ -343,10 +351,26 @@ class ValueTable:
         """
         return self.semantics.prefer_table_rounding or size <= SCALAR_CUTOFF
 
-    def _round_one(self, v: float) -> float:
-        """Scalar twin of the vector kernel: same clipping, same
+    def round_one(self, v: float) -> float:
+        """Round one scalar through the table, without any ndarray round-trip.
+
+        Scalar twin of the vector kernel: same clipping, same
         ``nearest_in_table`` distance comparisons (Python floats are the same
-        IEEE doubles NumPy uses, so every operation matches bit for bit)."""
+        IEEE doubles NumPy uses, so every operation matches bit for bit).
+        This is the path :meth:`round_values` takes element-wise for arrays
+        of up to ``SCALAR_CUTOFF`` entries, and the path
+        ``EmulatedContext`` feeds its scalar elementary operations through.
+
+        Parameters
+        ----------
+        v:
+            One work-precision value as a Python float.
+
+        Returns
+        -------
+        float
+            The nearest representable value of the format.
+        """
         sem = self.semantics
         if v != v:  # NaN
             return math.nan
@@ -362,16 +386,7 @@ class ValueTable:
         mags = self._mags_list
         last = len(mags) - 1
         clipped = a if a < mags[last] else mags[last]
-        hi = bisect.bisect_left(mags, clipped)
-        if hi > last:
-            hi = last
-        lo = hi - 1 if hi > 0 else 0
-        d_hi = abs(mags[hi] - clipped)
-        d_lo = abs(clipped - mags[lo])
-        if d_lo < d_hi or (d_lo == d_hi and self._codes_list[lo] % 2 == 0):
-            mag = mags[lo]
-        else:
-            mag = mags[hi]
+        mag = mags[nearest_in_table_scalar(clipped, mags, self._codes_list)]
         if sem.underflow_to_min and mag == 0.0:
             mag = mags[1]  # v is non-zero here: saturate at minpos
         if sem.overflow_action != "saturate":
@@ -403,7 +418,7 @@ class ValueTable:
             out = np.empty(x.shape, dtype=self.work_dtype)
             flat = out.ravel()
             for i, v in enumerate(x.flat):
-                flat[i] = self._round_one(float(v))
+                flat[i] = self.round_one(float(v))
             return out
         mag = self._round_magnitudes(x)
         res = np.copysign(mag, x)

@@ -26,7 +26,14 @@ import math
 
 import numpy as np
 
-from .base import NumberFormat, nearest_in_table, round_to_quantum
+from .base import (
+    SCALAR_CUTOFF,
+    WIDE_SCALAR_CUTOFF,
+    NumberFormat,
+    nearest_in_table,
+    nearest_in_table_scalar,
+    round_to_quantum,
+)
 
 __all__ = ["TakumFormat", "TAKUM8", "TAKUM16", "TAKUM32", "TAKUM64"]
 
@@ -36,10 +43,19 @@ _C_MAX = 254
 
 
 class TakumFormat(NumberFormat):
-    """Linear takum format of width ``nbits``."""
+    """Linear takum format of width ``nbits``.
+
+    Parameters
+    ----------
+    nbits:
+        Storage width in bits (at least 6).
+    name:
+        Registry name; defaults to ``"takum<nbits>"``.
+    """
 
     saturating = True
     has_infinity = False
+    has_scalar_kernel = True
 
     def __init__(self, nbits: int, name: str | None = None):
         if nbits < 6:
@@ -54,6 +70,12 @@ class TakumFormat(NumberFormat):
         self._codes: np.ndarray | None = None
         self._max_value = self._decode_magnitude_of_code((1 << (self.bits - 1)) - 1)
         self._min_positive = self._decode_magnitude_of_code(1)
+        self._scalar_state: tuple | None = None
+        # the longdouble kernel pays NumPy scalar dispatch (~4 us/element),
+        # which moves its break-even against the vector kernel down to ~8
+        self.scalar_cutoff = (
+            WIDE_SCALAR_CUTOFF if self.work_dtype is np.float64 else SCALAR_CUTOFF
+        )
 
     def _decode_magnitude_of_code(self, code: int):
         return abs(self.decode_code(code))
@@ -62,6 +84,9 @@ class TakumFormat(NumberFormat):
     # bit-level
     # ------------------------------------------------------------------ #
     def decode_code(self, code: int):
+        """Decode one takum code (sign, direction, regime, characteristic,
+        mantissa) into its work-precision value; ``0`` decodes to 0.0 and
+        ``10…0`` to NaR (NaN)."""
         n = self.bits
         code = int(code) & ((1 << n) - 1)
         if code == 0:
@@ -107,6 +132,9 @@ class TakumFormat(NumberFormat):
         )
 
     def encode_analytic(self, values) -> np.ndarray:
+        """Analytic (table-free) encode: round through the analytic kernel,
+        then emit the takum bit pattern per element.  Returns ``uint64``
+        codes of the same shape as ``values``."""
         values = np.asarray(values, dtype=self.work_dtype)
         rounded = self.round_array_analytic(values)
         out = np.zeros(values.shape, dtype=np.uint64)
@@ -180,10 +208,97 @@ class TakumFormat(NumberFormat):
         self._magnitudes = mags[order]
         self._codes = codes[order]
 
+    def _build_scalar_state(self) -> tuple:
+        """Assemble the constants the scalar kernel needs, once per format.
+
+        Float64-work formats get plain Python lists/floats; the 64-bit
+        format keeps ``longdouble`` scalars so the arithmetic stays in
+        extended precision.
+        """
+        self._ensure_tables()
+        if self._full_table:
+            state = (self._magnitudes.tolist(), self._codes.tolist())
+        elif self.work_dtype is np.float64:
+            state = (float(self._min_positive), float(self._max_value))
+        else:
+            state = (self._min_positive, self._max_value)
+        self._scalar_state = state
+        return state
+
+    def round_scalar_analytic(self, value):
+        """Scalar twin of :meth:`round_array_analytic` for one value.
+
+        Pure-Python ``math.frexp``/``math.ldexp`` kernel (NumPy scalar ops
+        for the extended-precision 64-bit format).  The characteristic-field
+        length ``r = floor(log2(...))`` is computed exactly with integer
+        ``bit_length`` instead of a float ``log2``; everything else mirrors
+        the vector kernel operation for operation.  Verified bit-identical
+        by ``tests/test_scalar_rounding.py``.
+        """
+        state = self._scalar_state
+        if state is None:
+            state = self._build_scalar_state()
+        if self.work_dtype is np.float64:
+            v = float(value)
+            if v != v or v == math.inf or v == -math.inf:
+                return math.nan  # takum NaR
+            if v == 0.0:
+                return 0.0  # single unsigned zero
+            a = -v if v < 0.0 else v
+            if self._full_table:
+                mags, codes = state
+                last = mags[-1]
+                clipped = a if a < last else last
+                mag = mags[nearest_in_table_scalar(clipped, mags, codes)]
+                if mag == 0.0:
+                    mag = float(self._min_positive)
+            else:
+                minpos, maxval = state
+                c = math.frexp(a)[1] - 1
+                if c < _C_MIN:
+                    c = _C_MIN
+                elif c > _C_MAX:
+                    c = _C_MAX
+                r = (c + 1).bit_length() - 1 if c >= 0 else (-c).bit_length() - 1
+                qexp = c - (self.bits - 5 - r)
+                mag = float(round(math.ldexp(a, -qexp))) * math.ldexp(1.0, qexp)
+                if mag < minpos:
+                    mag = minpos
+                elif mag > maxval:
+                    mag = maxval
+            return -mag if v < 0.0 else mag
+        # extended-precision (longdouble) twin: same structure, NumPy scalars
+        wd = self.work_dtype
+        v = value if isinstance(value, wd) else wd(value)
+        if v != v or v == np.inf or v == -np.inf:
+            return wd(np.nan)
+        if v == 0.0:
+            return wd(0.0)
+        a = -v if v < 0.0 else v
+        minpos, maxval = state
+        c = int(np.frexp(a)[1]) - 1
+        if c < _C_MIN:
+            c = _C_MIN
+        elif c > _C_MAX:
+            c = _C_MAX
+        r = (c + 1).bit_length() - 1 if c >= 0 else (-c).bit_length() - 1
+        qexp = c - (self.bits - 5 - r)
+        mag = np.rint(np.ldexp(a, -qexp)) * np.ldexp(wd(1.0), qexp)
+        if mag < minpos:
+            mag = minpos
+        elif mag > maxval:
+            mag = maxval
+        return -mag if v < 0.0 else mag
+
     # ------------------------------------------------------------------ #
     # value-space rounding
     # ------------------------------------------------------------------ #
     def round_array_analytic(self, values) -> np.ndarray:
+        """Vectorised ground-truth rounding.  Formats of <= 16 bits use an
+        exact table of representable magnitudes; wider formats clamp the
+        characteristic to [-255, 254] and round to the mantissa quantum of
+        the containing binade.  Saturates at the smallest/largest
+        representable magnitude, maps inf to NaR."""
         x = np.asarray(values, dtype=self.work_dtype)
         out = np.empty(x.shape, dtype=self.work_dtype)
         self._ensure_tables()
@@ -234,10 +349,12 @@ class TakumFormat(NumberFormat):
     # ------------------------------------------------------------------ #
     @property
     def max_value(self) -> float:
+        """Largest finite magnitude (decode of code ``01…1``, ≈ 2^255)."""
         return float(self._max_value)
 
     @property
     def min_positive(self) -> float:
+        """Smallest positive magnitude (decode of code ``0…01``, ≈ 2^-255)."""
         return float(self._min_positive)
 
     def _compute_machine_epsilon(self) -> float:

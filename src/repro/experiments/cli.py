@@ -27,11 +27,41 @@ from .runner import run_experiment
 __all__ = ["main", "build_parser"]
 
 
+#: --help epilog surfacing the rounding-backend opt-out hierarchy (the
+#: fast paths are bit-identical to the analytic kernels, so these exist for
+#: verification runs and micro-benchmarks, not for day-to-day use)
+_EPILOG = """\
+rounding backends:
+  Emulated formats round through lookup tables (widths <= 16 bits) and
+  pure-Python scalar kernels (wider formats, tiny arrays); both are
+  bit-identical to the analytic vector kernels.  Opt-outs, from coarse to
+  fine:
+    REPRO_DISABLE_ROUNDING_TABLES=1   environment: disable the table engine
+                                      for the whole process
+    repro.arithmetic.set_tables_enabled(False)
+                                      runtime: same, toggleable per phase
+    get_context(name, use_tables=False)
+                                      per context: force the analytic
+                                      kernels (use_tables=True forces the
+                                      tables even when globally disabled)
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Argument parser of the experiment CLI."""
+    """Argument parser of the experiment CLI.
+
+    Returns
+    -------
+    argparse.ArgumentParser
+        Parser for the module-form invocation
+        (``python -m repro.experiments.cli``); see ``--help`` for the
+        rounding-backend opt-out hierarchy.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description="Reproduce the IRAM low-precision eigenvalue experiments.",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--suite",

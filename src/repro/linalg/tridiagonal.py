@@ -100,6 +100,7 @@ def tridiagonal_eigen(ctx, d, e, Z=None, max_sweeps: int = 60):
     if n == 0:
         return d, Z
     eps = ctx.dtype(ctx.machine_epsilon)
+    eps_f = float(eps)  # deflation threshold, reused across the scans below
     one = ctx.dtype(1.0)
     two = ctx.dtype(2.0)
 
@@ -113,7 +114,7 @@ def tridiagonal_eigen(ctx, d, e, Z=None, max_sweeps: int = 60):
             m = l
             while m < n - 1:
                 dd = abs(float(d[m])) + abs(float(d[m + 1]))
-                if abs(float(e_full[m])) <= float(eps) * dd:
+                if abs(float(e_full[m])) <= eps_f * dd:
                     break
                 m += 1
             if m == l:

@@ -1,9 +1,46 @@
 """Tests of the experiment command-line interface."""
 
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
 from repro.experiments.cli import build_parser, main
+
+
+def _run_cli_subprocess(*args):
+    """Invoke the module-form entry point in a fresh interpreter."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.cli", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+class TestEntryPointSmoke:
+    """The ``python -m`` entry point must not silently rot: exercise --help
+    and a tiny table1 run through a real subprocess."""
+
+    def test_help_runs_and_documents_opt_outs(self):
+        proc = _run_cli_subprocess("--help")
+        assert proc.returncode == 0, proc.stderr
+        assert "--suite" in proc.stdout
+        # the rounding-backend opt-out hierarchy is surfaced in the epilog
+        assert "REPRO_DISABLE_ROUNDING_TABLES" in proc.stdout
+        assert "use_tables" in proc.stdout
+
+    def test_table1_run(self):
+        proc = _run_cli_subprocess("--suite", "table1", "--scale", "0.001")
+        assert proc.returncode == 0, proc.stderr
+        assert "biological" in proc.stdout
 
 
 class TestParser:

@@ -31,7 +31,13 @@ Quickstart::
 """
 
 from . import arithmetic, core, datasets, experiments, linalg, sparse, utils
-from .arithmetic import available_formats, get_context, get_format
+from .arithmetic import (
+    ContextSpec,
+    available_formats,
+    get_context,
+    get_format,
+    precision,
+)
 from .core import partialschur
 
 __version__ = "1.0.0"
@@ -47,6 +53,8 @@ __all__ = [
     "get_context",
     "get_format",
     "available_formats",
+    "ContextSpec",
+    "precision",
     "partialschur",
     "__version__",
 ]

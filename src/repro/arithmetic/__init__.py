@@ -15,6 +15,14 @@ is the primitive used by the compute contexts in
 :mod:`repro.arithmetic.context` to emulate "every scalar operation is
 performed in the target arithmetic".
 
+On top of the contexts sits the operator API
+(:mod:`repro.arithmetic.farray`): ``ctx.array(...)`` / ``ctx.scalar(...)``
+bind values to a context so that rounded kernels read as plain NumPy-style
+expressions (``w - V @ h``) while every operator routes through the same
+context methods; :func:`repro.arithmetic.precision` binds a precision for a
+block of such code, and :class:`repro.arithmetic.ContextSpec` names a
+context declaratively for the runner and CLI.
+
 Formats of up to 16 bits are served by the shared lookup-table rounding
 engine (:mod:`repro.arithmetic.tables`): the finite value set is enumerated
 once per process, cached across contexts and pre-warmed before experiment
@@ -51,11 +59,19 @@ from .tables import (
 )
 from .context import (
     ComputeContext,
+    ContextSpec,
     EmulatedContext,
     NativeContext,
     ReferenceContext,
     get_context,
     DynamicRangeError,
+)
+from .farray import (
+    BoundNamespace,
+    FArray,
+    FScalar,
+    PrecisionLeakError,
+    precision,
 )
 
 __all__ = [
@@ -93,9 +109,15 @@ __all__ = [
     "tables_enabled",
     "set_tables_enabled",
     "ComputeContext",
+    "ContextSpec",
     "EmulatedContext",
     "NativeContext",
     "ReferenceContext",
     "get_context",
     "DynamicRangeError",
+    "BoundNamespace",
+    "FArray",
+    "FScalar",
+    "PrecisionLeakError",
+    "precision",
 ]

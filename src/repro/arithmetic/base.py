@@ -36,6 +36,10 @@ __all__ = [
 #: for formats that can never be table-served; re-exported by ``tables``.
 MAX_TABLE_BITS = 16
 
+#: memoised reference to repro.arithmetic.tables.table_for (set on first use;
+#: the tables module imports this one, so a top-level import would be a cycle)
+_TABLE_FOR = None
+
 #: arrays up to this size round element-wise in pure Python when a lookup
 #: table is available (a ``bisect`` over the table beats ~10 NumPy dispatch
 #: round-trips on tiny arrays, the regime of the solvers' scalar Givens/QL
@@ -244,9 +248,15 @@ class NumberFormat(ABC):
 
     def _rounding_table(self):
         """The active :class:`~repro.arithmetic.tables.ValueTable`, if any."""
-        from . import tables
+        # tables imports this module, so the reference is resolved lazily —
+        # but only once: this sits on the per-scalar rounding path, where a
+        # per-call ``from . import tables`` is measurable
+        global _TABLE_FOR
+        if _TABLE_FOR is None:
+            from .tables import table_for as _table_for
 
-        return tables.table_for(self)
+            _TABLE_FOR = _table_for
+        return _TABLE_FOR(self)
 
     @property
     def table_backed(self) -> bool:

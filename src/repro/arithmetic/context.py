@@ -30,6 +30,7 @@ dominate wide-format wall time.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from abc import ABC, abstractmethod
 from typing import Optional
@@ -51,12 +52,52 @@ def _is_scalar(x) -> bool:
 
 __all__ = [
     "ComputeContext",
+    "ContextSpec",
     "NativeContext",
     "EmulatedContext",
     "ReferenceContext",
     "get_context",
     "DynamicRangeError",
 ]
+
+
+@dataclasses.dataclass(frozen=True)
+class ContextSpec:
+    """Declarative description of a compute context.
+
+    Replaces the loose ``(name, accumulation=..., use_tables=..., ...)``
+    keyword plumbing between the CLI, the experiment runner and
+    :func:`get_context`: one frozen, picklable value names the arithmetic
+    *and* how it is evaluated, and can be passed wherever a format name is
+    accepted (``get_context(spec)``, ``partialschur(..., ctx=spec)``).
+
+    Attributes
+    ----------
+    format:
+        Format or context name (``"posit16"``, ``"float64"``,
+        ``"reference"``, ...).
+    accumulation:
+        Reduction order of the rounded kernels (``"pairwise"`` or
+        ``"sequential"``).
+    use_tables:
+        Lookup-table rounding-backend override (``None`` = automatic; see
+        :class:`EmulatedContext`).  Ignored by native contexts.
+    count_ops:
+        Whether the context tallies rounded elementary operations.
+    """
+
+    format: str = "float64"
+    accumulation: str = "pairwise"
+    use_tables: Optional[bool] = None
+    count_ops: bool = True
+
+    def build(self) -> "ComputeContext":
+        """Construct the described compute context."""
+        return get_context(self)
+
+    def with_format(self, name: str) -> "ContextSpec":
+        """This spec with the format swapped (runner convenience)."""
+        return dataclasses.replace(self, format=name)
 
 
 class DynamicRangeError(ValueError):
@@ -133,6 +174,62 @@ class ComputeContext(ABC):
         """An all-zeros array of the context's storage dtype."""
         return np.zeros(shape, dtype=self.dtype)
 
+    # ------------------------------------------------------------------ #
+    # operator-API constructors (repro.arithmetic.farray)
+    # ------------------------------------------------------------------ #
+    # The wrapper classes are installed as class attributes when
+    # repro.arithmetic.farray is imported — a per-call ``from .farray
+    # import ...`` would cost more than wrapping itself on the solvers'
+    # scalar paths.
+    _farray_cls = None
+    _fscalar_cls = None
+
+    @classmethod
+    def _operator_classes(cls):
+        if cls._farray_cls is None:  # context imported without the package
+            from . import farray  # noqa: F401  (registers the classes)
+        return cls._farray_cls, cls._fscalar_cls
+
+    def array(self, values):
+        """Round arbitrary input into the context and bind it as an
+        :class:`~repro.arithmetic.farray.FArray` (the operator API).
+
+        Scalar (0-d) input comes back as an
+        :class:`~repro.arithmetic.farray.FScalar` instead — the wrapper
+        convention everywhere is that 0-d results are scalars.
+        """
+        farray_cls, fscalar_cls = self._operator_classes()
+        values = np.asarray(values, dtype=self.dtype)
+        if values.ndim == 0:
+            return fscalar_cls(self, self.round_scalar(values[()]))
+        return farray_cls(self, self.round(values))
+
+    def scalar(self, value):
+        """Round one value into the context and bind it as an
+        :class:`~repro.arithmetic.farray.FScalar`."""
+        _, fscalar_cls = self._operator_classes()
+        return fscalar_cls(self, self.round_scalar(value))
+
+    def wrap(self, data):
+        """Bind already-representable data as an
+        :class:`~repro.arithmetic.farray.FArray` *without* rounding.
+
+        This is the in-solver fast path; the caller guarantees every entry
+        is a value of the context (use :meth:`array` otherwise).
+        """
+        cls = self._farray_cls
+        if cls is None:
+            cls, _ = self._operator_classes()
+        return cls(self, data)
+
+    def wrap_scalar(self, value):
+        """Bind one already-representable scalar as an
+        :class:`~repro.arithmetic.farray.FScalar` *without* rounding."""
+        cls = self._fscalar_cls
+        if cls is None:
+            _, cls = self._operator_classes()
+        return cls(self, value)
+
     def _tally(self, n: int) -> None:
         if self.count_ops:
             self.op_count += int(n)
@@ -147,63 +244,89 @@ class ComputeContext(ABC):
     # This is the regime of the solvers' elementwise Givens/QL operations,
     # where NumPy dispatch on 1-element arrays dominates the arithmetic.
 
+    # The ``_scalar_*`` twins implement exactly the scalar branch of each
+    # operation.  The operator API (:mod:`repro.arithmetic.farray`) calls
+    # them directly — an :class:`~repro.arithmetic.farray.FScalar` already
+    # knows its payload is a scalar, so skipping the dynamic detection here
+    # offsets the cost of the wrapper object.
+
+    def _scalar_add(self, a, b):
+        if self.count_ops:
+            self.op_count += 1
+        if self.dtype is np.float64:
+            return self.round_scalar(float(a) + float(b))
+        return self.round_scalar(self.dtype(a) + self.dtype(b))
+
+    def _scalar_sub(self, a, b):
+        if self.count_ops:
+            self.op_count += 1
+        if self.dtype is np.float64:
+            return self.round_scalar(float(a) - float(b))
+        return self.round_scalar(self.dtype(a) - self.dtype(b))
+
+    def _scalar_mul(self, a, b):
+        if self.count_ops:
+            self.op_count += 1
+        if self.dtype is np.float64:
+            return self.round_scalar(float(a) * float(b))
+        return self.round_scalar(self.dtype(a) * self.dtype(b))
+
+    def _scalar_div(self, a, b):
+        if self.count_ops:
+            self.op_count += 1
+        if self.dtype is np.float64:
+            fb = float(b)
+            if fb == 0.0:
+                # IEEE inf/nan semantics (plus the RuntimeWarning the
+                # vector path would emit) instead of ZeroDivisionError
+                return self.round_scalar(float(np.divide(float(a), fb)))
+            return self.round_scalar(float(a) / fb)
+        return self.round_scalar(np.divide(self.dtype(a), self.dtype(b)))
+
+    def _scalar_sqrt(self, a):
+        if self.count_ops:
+            self.op_count += 1
+        if self.dtype is np.float64:
+            fa = float(a)
+            # math.sqrt raises on negative input where the vector kernel
+            # yields NaN; NaN inputs propagate through math.sqrt fine
+            return self.round_scalar(
+                math.sqrt(fa) if fa >= 0.0 or fa != fa else math.nan
+            )
+        return self.round_scalar(np.sqrt(self.dtype(a)))
+
     def add(self, a, b):
         """Rounded elementwise ``a + b`` (scalars stay scalars)."""
         if _is_scalar(a) and _is_scalar(b):
-            self._tally(1)
-            if self.dtype is np.float64:
-                return self.round_scalar(float(a) + float(b))
-            return self.round_scalar(self.dtype(a) + self.dtype(b))
+            return self._scalar_add(a, b)
         self._tally(np.broadcast(a, b).size)
         return self.round(np.add(a, b, dtype=self.dtype))
 
     def sub(self, a, b):
         """Rounded elementwise ``a - b`` (scalars stay scalars)."""
         if _is_scalar(a) and _is_scalar(b):
-            self._tally(1)
-            if self.dtype is np.float64:
-                return self.round_scalar(float(a) - float(b))
-            return self.round_scalar(self.dtype(a) - self.dtype(b))
+            return self._scalar_sub(a, b)
         self._tally(np.broadcast(a, b).size)
         return self.round(np.subtract(a, b, dtype=self.dtype))
 
     def mul(self, a, b):
         """Rounded elementwise ``a * b`` (scalars stay scalars)."""
         if _is_scalar(a) and _is_scalar(b):
-            self._tally(1)
-            if self.dtype is np.float64:
-                return self.round_scalar(float(a) * float(b))
-            return self.round_scalar(self.dtype(a) * self.dtype(b))
+            return self._scalar_mul(a, b)
         self._tally(np.broadcast(a, b).size)
         return self.round(np.multiply(a, b, dtype=self.dtype))
 
     def div(self, a, b):
         """Rounded elementwise ``a / b`` (scalars stay scalars)."""
         if _is_scalar(a) and _is_scalar(b):
-            self._tally(1)
-            if self.dtype is np.float64:
-                fb = float(b)
-                if fb == 0.0:
-                    # IEEE inf/nan semantics (plus the RuntimeWarning the
-                    # vector path would emit) instead of ZeroDivisionError
-                    return self.round_scalar(float(np.divide(float(a), fb)))
-                return self.round_scalar(float(a) / fb)
-            return self.round_scalar(np.divide(self.dtype(a), self.dtype(b)))
+            return self._scalar_div(a, b)
         self._tally(np.broadcast(a, b).size)
         return self.round(np.divide(a, b, dtype=self.dtype))
 
     def sqrt(self, a):
         """Rounded elementwise square root (scalars stay scalars)."""
         if _is_scalar(a):
-            self._tally(1)
-            if self.dtype is np.float64:
-                fa = float(a)
-                # math.sqrt raises on negative input where the vector kernel
-                # yields NaN; NaN inputs propagate through math.sqrt fine
-                return self.round_scalar(
-                    math.sqrt(fa) if fa >= 0.0 or fa != fa else math.nan
-                )
-            return self.round_scalar(np.sqrt(self.dtype(a)))
+            return self._scalar_sqrt(a)
         self._tally(np.size(a))
         return self.round(np.sqrt(np.asarray(a, dtype=self.dtype)))
 
@@ -220,8 +343,47 @@ class ComputeContext(ABC):
         return np.abs(np.asarray(a, dtype=self.dtype))
 
     def hypot(self, a, b):
-        """sqrt(a^2 + b^2) composed from rounded elementary operations."""
-        return self.sqrt(self.add(self.mul(a, a), self.mul(b, b)))
+        """Overflow-safe ``sqrt(a^2 + b^2)`` from rounded elementary operations.
+
+        The naive composition squares its operands, which leaves the dynamic
+        range of narrow formats for perfectly representable inputs (E4M3
+        overflows to NaN above ``sqrt(448)``; posits/takums saturate and
+        silently return a wrong magnitude).  Like :meth:`norm2`, the
+        computation is scaled by ``scale = max(|a|, |b|)``:
+        ``scale * sqrt(1 + (min/max)^2)``, where the intermediate quantities
+        stay within ``[1, 2]``.  The division of the larger operand by
+        ``scale`` is exactly 1 in every format, so it is elided; the result
+        is bit-identical to dividing both operands the way :meth:`norm2`
+        does, at five rounded operations instead of seven.
+        """
+        if _is_scalar(a) and _is_scalar(b):
+            aa = self.abs(a)
+            ab = self.abs(b)
+            if aa != aa or ab != ab:  # NaN operands propagate
+                return self.dtype(np.nan)
+            scale, small = (aa, ab) if aa >= ab else (ab, aa)
+            if scale == 0:
+                return self.dtype(0.0)
+            if scale == np.inf:
+                return self.dtype(np.inf)
+            t = self._scalar_div(small, scale)
+            return self._scalar_mul(
+                scale,
+                self._scalar_sqrt(self._scalar_add(1.0, self._scalar_mul(t, t))),
+            )
+        aa = np.abs(np.asarray(a, dtype=self.dtype))
+        ab = np.abs(np.asarray(b, dtype=self.dtype))
+        scale = np.maximum(aa, ab)
+        small = np.minimum(aa, ab)
+        # a zero (or NaN) scale divides by 1 instead; the final product then
+        # restores the exact 0 (or propagates the NaN) unchanged.  An
+        # infinite scale takes t = 0 so the result is inf, not inf/inf = NaN
+        safe = np.where(scale > 0, scale, self.dtype(1.0))
+        small = np.where(np.isinf(scale), self.dtype(0.0), small)
+        t = self.div(small, safe)
+        return self.mul(
+            scale, self.sqrt(self.add(self.dtype(1.0), self.mul(t, t)))
+        )
 
     # ------------------------------------------------------------------ #
     # reductions
@@ -546,8 +708,8 @@ class EmulatedContext(ComputeContext):
         return self._machine_epsilon
 
 
-def get_context(name: str, use_tables: Optional[bool] = None, **kwargs) -> ComputeContext:
-    """Build the compute context for a format name.
+def get_context(name: str | ContextSpec, use_tables: Optional[bool] = None, **kwargs) -> ComputeContext:
+    """Build the compute context for a format name or :class:`ContextSpec`.
 
     ``float32`` and ``float64`` use hardware arithmetic; ``reference`` (also
     accepted as ``float128`` or ``longdouble``) uses the extended-precision
@@ -555,7 +717,20 @@ def get_context(name: str, use_tables: Optional[bool] = None, **kwargs) -> Compu
     controls the lookup-table rounding backend of emulated contexts
     (``None`` picks the table engine whenever the format is eligible;
     ``False`` forces the analytic kernels for verification).
+
+    A :class:`ContextSpec` bundles the format name with the evaluation
+    options; it cannot be combined with loose keyword arguments.
     """
+    if isinstance(name, ContextSpec):
+        if use_tables is not None or kwargs:
+            raise TypeError(
+                "get_context(ContextSpec) already carries the evaluation "
+                "options; pass them inside the spec instead of as keywords"
+            )
+        spec = name
+        name = spec.format
+        use_tables = spec.use_tables
+        kwargs = {"accumulation": spec.accumulation, "count_ops": spec.count_ops}
     lowered = name.lower()
     if lowered in ("reference", "float128", "longdouble"):
         return ReferenceContext(**kwargs)

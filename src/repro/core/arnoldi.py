@@ -10,6 +10,13 @@ residual coupling vector (after a plain Arnoldi expansion ``b_k`` is
 :func:`arnoldi_expand` grows such a decomposition column by column with
 classical Gram-Schmidt plus one DGKS re-orthogonalisation pass, all in the
 target arithmetic.
+
+The expansion is written in the operator form of
+:mod:`repro.arithmetic.farray` — ``w - V @ h`` instead of
+``ctx.sub(w, ctx.gemv(V, h))`` — with every operator performing exactly one
+rounded context operation, so the trajectories are bit-identical to the
+explicit spelling.  The :class:`KrylovDecomposition` state keeps plain
+ndarrays, as before.
 """
 
 from __future__ import annotations
@@ -62,25 +69,26 @@ _DGKS_ETA = 0.7071
 def _orthogonalize(ctx, V_active, w):
     """Classical Gram-Schmidt with DGKS re-orthogonalisation.
 
-    Returns ``(w_orth, h, norm, breakdown)``: the orthogonalised vector, the
+    ``V_active`` and ``w`` are context-bound arrays; returns
+    ``(w_orth, h, norm, breakdown)``: the orthogonalised vector, the
     accumulated projection coefficients, the remaining norm and a flag that is
     True when even the second pass could not produce a vector that is
     numerically independent of the basis (the new direction is pure rounding
     noise — continuing by normalising it would destroy orthogonality).
     """
-    norm_before = ctx.norm2(w)
-    h = ctx.gemv_t(V_active, w)
-    w = ctx.sub(w, ctx.gemv(V_active, h))
-    norm_after = ctx.norm2(w)
-    if np.isfinite(norm_after) and float(norm_after) > _DGKS_ETA * float(norm_before):
+    norm_before = w.norm2()
+    h = w @ V_active  # V^T w
+    w = w - V_active @ h
+    norm_after = w.norm2()
+    if norm_after.isfinite() and float(norm_after) > _DGKS_ETA * float(norm_before):
         return w, h, norm_after, False
     # DGKS re-orthogonalisation: a second pass removes the components the
     # first (rounded) pass left behind, which is essential at low precision
-    h2 = ctx.gemv_t(V_active, w)
-    w = ctx.sub(w, ctx.gemv(V_active, h2))
-    h = ctx.add(h, h2)
-    norm_final = ctx.norm2(w)
-    breakdown = not np.isfinite(norm_final) or float(norm_final) <= _DGKS_ETA * float(
+    h2 = w @ V_active
+    w = w - V_active @ h2
+    h = h + h2
+    norm_final = w.norm2()
+    breakdown = not norm_final.isfinite() or float(norm_final) <= _DGKS_ETA * float(
         norm_after
     ) or float(norm_final) == 0.0
     return w, h, norm_final, breakdown
@@ -94,10 +102,10 @@ def _random_orthonormal(ctx, V_active, rng):
     """
     n = V_active.shape[0]
     for _ in range(3):
-        candidate = ctx.asarray(rng.standard_normal(n))
+        candidate = ctx.array(rng.standard_normal(n))
         candidate, _, norm, breakdown = _orthogonalize(ctx, V_active, candidate)
-        if not breakdown and np.isfinite(norm) and float(norm) > 0.0:
-            return ctx.div(candidate, norm)
+        if not breakdown and norm.isfinite() and float(norm) > 0.0:
+            return candidate / norm
     return None
 
 
@@ -141,30 +149,35 @@ def arnoldi_expand(
     if k >= target_order or decomp.invariant:
         return decomp, 0
 
-    V = np.zeros((n, target_order), dtype=ctx.dtype)
-    S = np.zeros((target_order, target_order), dtype=ctx.dtype)
+    V = ctx.wrap(np.zeros((n, target_order), dtype=ctx.dtype))
+    S = ctx.wrap(np.zeros((target_order, target_order), dtype=ctx.dtype))
     if k:
-        V[:, :k] = decomp.V
-        S[:k, :k] = decomp.S
-        # spike row produced by the previous truncation
-        S[k, :k] = decomp.b if k < target_order else decomp.b
-    b = np.zeros(target_order, dtype=ctx.dtype)
-    v_next = decomp.residual
+        # plain buffer copies through .data: the previous decomposition was
+        # produced by this context, so re-rounding it would be the identity
+        # at the cost of a vector kernel pass per restart
+        V.data[:, :k] = decomp.V
+        S.data[:k, :k] = decomp.S
+        # spike row produced by the previous truncation (dense coupling of
+        # the truncated decomposition against the incoming residual; k is
+        # strictly below target_order here, so the row always fits)
+        S.data[k, :k] = decomp.b
+    b = ctx.wrap(np.zeros(target_order, dtype=ctx.dtype))
+    v_next = None if decomp.residual is None else ctx.wrap(decomp.residual)
     matvecs = 0
 
     for j in range(k, target_order):
-        if v_next is None or not np.all(np.isfinite(v_next)):
+        if v_next is None or not v_next.all_finite():
             raise ArnoldiBreakdown("non-finite Krylov vector")
         V[:, j] = v_next
-        w = ctx.spmv(matrix, V[:, j])
+        w = matrix @ V[:, j]  # the rounded sparse kernel (ctx.spmv)
         matvecs += 1
-        if not np.all(np.isfinite(w)):
+        if not w.all_finite():
             raise ArnoldiBreakdown("matrix-vector product overflowed")
         w, h, beta, broke_down = _orthogonalize(ctx, V[:, : j + 1], w)
-        if not np.all(np.isfinite(np.asarray(h, dtype=np.float64))):
+        if not np.all(np.isfinite(np.asarray(h.data, dtype=np.float64))):
             raise ArnoldiBreakdown("orthogonalisation coefficients overflowed")
         S[: j + 1, j] = h
-        if not np.isfinite(beta):
+        if not beta.isfinite():
             raise ArnoldiBreakdown("residual norm overflowed")
         if broke_down or float(beta) == 0.0:
             # the Krylov space is (numerically) invariant: the residual of
@@ -175,8 +188,8 @@ def arnoldi_expand(
             if replacement is None:
                 return (
                     KrylovDecomposition(
-                        V=V[:, : j + 1],
-                        S=S[: j + 1, : j + 1],
+                        V=V.data[:, : j + 1],
+                        S=S.data[: j + 1, : j + 1],
                         b=np.zeros(j + 1, dtype=ctx.dtype),
                         residual=None,
                         invariant=True,
@@ -189,7 +202,7 @@ def arnoldi_expand(
             else:
                 b[:] = 0.0
             continue
-        v_next = ctx.div(w, beta)
+        v_next = w / beta
         if j + 1 < target_order:
             S[j + 1, j] = beta
         else:
@@ -198,7 +211,7 @@ def arnoldi_expand(
 
     return (
         KrylovDecomposition(
-            V=V, S=S, b=b, residual=v_next, invariant=False
+            V=V.data, S=S.data, b=b.data, residual=None if v_next is None else v_next.data, invariant=False
         ),
         matvecs,
     )

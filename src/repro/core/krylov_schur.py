@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..arithmetic.context import ComputeContext, get_context
+from ..arithmetic.context import ComputeContext, ContextSpec, get_context
 from ..linalg.ordering import select_order
 from ..linalg.tridiagonal import EigenConvergenceError, symmetric_eigen
 from .arnoldi import KrylovDecomposition, arnoldi_expand
@@ -39,22 +39,22 @@ def default_maxdim(nev: int, n: int) -> int:
 
 def _initial_vector(ctx: ComputeContext, n: int, v0, seed: int) -> np.ndarray:
     if v0 is not None:
-        v = ctx.asarray(np.asarray(v0, dtype=np.float64))
+        v = ctx.array(np.asarray(v0, dtype=np.float64))
     else:
         rng = np.random.default_rng(seed)
-        v = ctx.asarray(rng.standard_normal(n))
-    nrm = ctx.norm2(v)
-    if not np.isfinite(nrm) or float(nrm) == 0.0:
-        v = ctx.asarray(np.ones(n) / np.sqrt(n))
-        nrm = ctx.norm2(v)
-    return ctx.div(v, nrm)
+        v = ctx.array(rng.standard_normal(n))
+    nrm = v.norm2()
+    if not nrm.isfinite() or float(nrm) == 0.0:
+        v = ctx.array(np.ones(n) / np.sqrt(n))
+        nrm = v.norm2()
+    return (v / nrm).data
 
 
 def _ritz_decomposition(ctx, decomp):
     """Diagonalise the projected matrix and transform the coupling vector."""
     theta, Y = symmetric_eigen(ctx, decomp.S)
     # residual coupling in the Ritz basis: b' = Y^T b
-    b_ritz = ctx.gemv_t(Y, decomp.b)
+    b_ritz = (ctx.wrap(decomp.b) @ ctx.wrap(Y)).data  # Y^T b
     return theta, Y, b_ritz
 
 
@@ -94,7 +94,7 @@ def partialschur(
     tol: float = 1e-8,
     maxdim: int | None = None,
     restarts: int = 100,
-    ctx: ComputeContext | str | None = None,
+    ctx: ComputeContext | ContextSpec | str | None = None,
     v0=None,
     seed: int = 0,
     history: bool = False,
@@ -120,7 +120,8 @@ def partialschur(
     restarts:
         Maximum number of Krylov-Schur restarts.
     ctx:
-        Compute context or format name; defaults to native float64.
+        Compute context, :class:`~repro.arithmetic.ContextSpec` or format
+        name; defaults to native float64.
     v0:
         Optional starting vector; a seeded random vector otherwise.
     seed:
@@ -141,7 +142,7 @@ def partialschur(
     """
     if ctx is None:
         ctx = get_context("float64")
-    elif isinstance(ctx, str):
+    elif isinstance(ctx, (str, ContextSpec)):
         ctx = get_context(ctx)
     n = matrix.shape[0]
     if matrix.shape[0] != matrix.shape[1]:
@@ -201,7 +202,7 @@ def partialschur(
             )
             sel = order[:keep]
             Ysel = np.asarray(Y)[:, sel]
-            V_new = ctx.gemm(decomp.V, Ysel)
+            V_new = (ctx.wrap(decomp.V) @ ctx.wrap(Ysel)).data
             S_new = np.zeros((keep, keep), dtype=ctx.dtype)
             S_new[np.arange(keep), np.arange(keep)] = np.asarray(theta)[sel]
             b_new = np.asarray(b_ritz)[sel].astype(ctx.dtype)
@@ -233,7 +234,7 @@ def partialschur(
     theta_np = np.asarray(theta)
     lam = theta_np[sel]
     Ysel = np.asarray(Y)[:, sel]
-    X = ctx.gemm(decomp.V, Ysel)
+    X = (ctx.wrap(decomp.V) @ ctx.wrap(Ysel)).data
     residuals = np.abs(np.asarray(b_ritz, dtype=np.float64))[sel]
     if decomp.invariant:
         residuals = np.zeros(nret)

@@ -15,6 +15,7 @@ the paper's population sizes.
 from __future__ import annotations
 
 import math
+import zlib
 from typing import Callable
 
 import networkx as nx
@@ -223,6 +224,17 @@ def _adjacency_from_graph(graph, rng: np.random.Generator, weighted: bool) -> CS
     return COOMatrix(rows, cols, vals, (n, n)).tocsr()
 
 
+def _category_key(category: str) -> int:
+    """Deterministic per-category RNG seed component.
+
+    ``hash(str)`` is randomised per process (PYTHONHASHSEED), which used to
+    make the "seeded" workloads differ between runs — rare marginal
+    matrices then flip solver convergence and flake the test/benchmark
+    suites.  CRC32 is stable across processes and platforms.
+    """
+    return zlib.crc32(category.encode("utf-8")) % (2**31)
+
+
 def generate_graph(
     category: str, index: int, size: int, seed: int = 0
 ) -> tuple[CSRMatrix, str]:
@@ -233,7 +245,7 @@ def generate_graph(
     """
     if category not in _CATEGORY_MODELS:
         raise KeyError(f"unknown graph category {category!r}")
-    rng = np.random.default_rng([seed, hash(category) % (2**31), index])
+    rng = np.random.default_rng([seed, _category_key(category), index])
     size = max(8, int(size))
     graph = _CATEGORY_MODELS[category](size, rng)
     adjacency = _adjacency_from_graph(graph, rng, category in _WEIGHTED_CATEGORIES)
@@ -298,7 +310,7 @@ def graph_suite(
         if wanted is not None and cls not in wanted:
             continue
         for index in range(count):
-            rng = np.random.default_rng([seed, 7919, hash(category) % (2**31), index])
+            rng = np.random.default_rng([seed, 7919, _category_key(category), index])
             size = int(rng.integers(size_range[0], size_range[1] + 1))
             adjacency, model = generate_graph(category, index, size, seed=seed)
             laplacian = laplacian_from_adjacency(adjacency)

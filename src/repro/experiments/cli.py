@@ -85,6 +85,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--min-size", type=int, default=24, help="smallest matrix order")
     parser.add_argument("--max-size", type=int, default=48, help="largest matrix order")
     parser.add_argument("--restarts", type=int, default=30, help="Krylov-Schur restart budget")
+    parser.add_argument(
+        "--accumulation",
+        default="pairwise",
+        choices=["pairwise", "sequential"],
+        help="reduction order of the rounded kernels (ablation)",
+    )
+    parser.add_argument(
+        "--no-tables",
+        action="store_true",
+        help="force the analytic rounding kernels (verification runs)",
+    )
+    parser.add_argument(
+        "--no-op-count",
+        action="store_true",
+        help="disable the per-context tally of rounded operations",
+    )
     parser.add_argument("--workers", type=int, default=1, help="worker processes")
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument("--no-plots", action="store_true", help="omit the ASCII plots")
@@ -112,7 +128,14 @@ def main(argv=None) -> int:
         print("no matrices generated for the requested workload", file=sys.stderr)
         return 1
     formats = [name for width in args.widths for name in PAPER_FORMATS[width]]
-    config = ExperimentConfig(restarts=args.restarts)
+    # the per-context evaluation options travel as one ContextSpec template
+    # inside the config instead of loose keyword arguments
+    config = ExperimentConfig(
+        restarts=args.restarts,
+        accumulation=args.accumulation,
+        use_tables=False if args.no_tables else None,
+        count_ops=not args.no_op_count,
+    )
     print(
         f"running suite {args.suite!r}: {len(suite)} matrices x {len(formats)} formats "
         f"(restarts={args.restarts}, workers={args.workers})",

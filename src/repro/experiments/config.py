@@ -4,6 +4,9 @@ from __future__ import annotations
 
 import dataclasses
 import os
+from typing import Optional
+
+from ..arithmetic.context import ContextSpec
 
 __all__ = ["ExperimentConfig"]
 
@@ -37,6 +40,12 @@ class ExperimentConfig:
     accumulation:
         Accumulation order of the emulated kernels (``"pairwise"`` or
         ``"sequential"``); exposed for the accumulation-order ablation.
+    use_tables:
+        Lookup-table rounding-backend override forwarded to the contexts
+        (``None`` = automatic; ``False`` forces the analytic kernels for
+        verification runs).
+    count_ops:
+        Whether solver contexts tally rounded elementary operations.
     reference_tolerance:
         Convergence tolerance of the reference solve.
     """
@@ -49,12 +58,24 @@ class ExperimentConfig:
     seed: int = 0
     eps_floor: bool = True
     accumulation: str = "pairwise"
+    use_tables: Optional[bool] = None
+    count_ops: bool = True
     reference_tolerance: float = 1e-18
 
     @property
     def nev_total(self) -> int:
         """Eigenpairs requested from every solve (count + buffer)."""
         return self.eigenvalue_count + self.eigenvalue_buffer_count
+
+    def context_spec(self, format_name: str) -> ContextSpec:
+        """The :class:`~repro.arithmetic.ContextSpec` for one format under
+        this configuration (what the runner hands to ``get_context``)."""
+        return ContextSpec(
+            format=format_name,
+            accumulation=self.accumulation,
+            use_tables=self.use_tables,
+            count_ops=self.count_ops,
+        )
 
     @classmethod
     def from_environment(cls, **overrides) -> "ExperimentConfig":

@@ -14,7 +14,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from ..arithmetic.context import ReferenceContext, get_context
+from ..arithmetic.context import get_context
 from ..arithmetic.registry import preload_tables
 from ..core.krylov_schur import partialschur
 from ..datasets.testmatrix import TestMatrix
@@ -107,7 +107,7 @@ class ExperimentResult:
 
 def _reference_solve(test_matrix: TestMatrix, config: ExperimentConfig):
     """Reference partial spectral decomposition in extended precision."""
-    ctx = ReferenceContext(accumulation=config.accumulation)
+    ctx = get_context(config.context_spec("reference"))
     result = partialschur(
         test_matrix.matrix,
         nev=min(config.nev_total, test_matrix.n),
@@ -155,7 +155,7 @@ def run_matrix_experiment(
             record.status = "reference_failed"
             runs.append(record)
             continue
-        ctx = get_context(format_name, accumulation=config.accumulation)
+        ctx = get_context(config.context_spec(format_name))
         converted, info = ctx.convert_matrix(test_matrix.matrix)
         if info.range_exceeded:
             # the paper's ∞σ marker: the matrix entries do not fit the format
@@ -246,7 +246,10 @@ def run_experiment(
     # Build the lookup-table rounding engine once in this process: forked
     # workers inherit the tables copy-on-write instead of re-enumerating the
     # value sets per worker, and the serial path pays the build exactly once.
-    preload_tables(formats)
+    # Analytic-kernel verification runs (use_tables=False) never consult the
+    # engine, so skip the build entirely there.
+    if config.use_tables is not False:
+        preload_tables(formats)
     tasks = [_Task(tm, tuple(formats), config) for tm in suite]
     experiments = parallel_map(_run_task, tasks, workers=workers)
     records: list[RunRecord] = []

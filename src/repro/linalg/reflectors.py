@@ -2,9 +2,17 @@
 
 Every arithmetic operation goes through the context so the kernels behave as
 if they were executed on hardware implementing the target format.  The
-routines operate on small dense matrices (the projected problems of the
-Krylov-Schur iteration) and therefore favour clarity over asymptotic
-performance; inner updates are still expressed as vectorised context calls.
+algorithm bodies are written in the operator form of
+:mod:`repro.arithmetic.farray` — ``ctx.wrap`` binds the inputs once and each
+operator performs exactly one rounded context operation — so the mathematics
+reads like NumPy while the trajectories stay bit-identical to the explicit
+``ctx.sub(..., ctx.mul(...))`` spelling (proven in
+``tests/test_operator_equivalence.py``).  The routines operate on small dense
+matrices (the projected problems of the Krylov-Schur iteration) and
+therefore favour clarity over asymptotic performance.
+
+Public signatures keep plain ndarrays / work-dtype scalars in and out, so
+callers of the explicit context API are unaffected.
 """
 
 from __future__ import annotations
@@ -29,55 +37,59 @@ def householder_vector(ctx, x):
     ``x[0]`` for numerical stability.  If ``x`` is (numerically) zero the
     reflector is the identity (``beta = 0``).
     """
-    x = np.asarray(x, dtype=ctx.dtype)
+    x = ctx.wrap(x)
     n = x.shape[0]
-    normx = ctx.norm2(x)
-    if not np.isfinite(normx) or float(normx) == 0.0:
+    normx = x.norm2()
+    if not normx.isfinite() or float(normx) == 0.0:
         v = np.zeros(n, dtype=ctx.dtype)
         if n:
             v[0] = 1.0
-        return v, ctx.dtype(0.0), ctx.dtype(0.0) if float(normx) == 0.0 else normx
+        return v, ctx.dtype(0.0), ctx.dtype(0.0) if float(normx) == 0.0 else normx.value
     # work with the normalised vector: the reflector is scale-invariant and
     # the intermediate quantities stay O(1), which keeps 8-bit formats inside
     # their dynamic range
-    xs = ctx.div(x, normx)
+    xs = x / normx
     sign = -1.0 if float(x[0]) < 0 else 1.0
-    alpha = ctx.mul(ctx.dtype(-sign), normx)
+    alpha = -sign * normx
     v = xs.copy()
-    v[0] = ctx.sub(xs[0], ctx.dtype(-sign))
-    vnorm2 = ctx.dot(v, v)
-    if not np.isfinite(vnorm2) or float(vnorm2) == 0.0:
+    v[0] = xs[0] - (-sign)
+    vnorm2 = v.dot(v)
+    if not vnorm2.isfinite() or float(vnorm2) == 0.0:
         v = np.zeros(n, dtype=ctx.dtype)
         if n:
             v[0] = 1.0
-        return v, ctx.dtype(0.0), alpha
-    beta = ctx.div(ctx.dtype(2.0), vnorm2)
-    if not np.isfinite(beta):
+        return v, ctx.dtype(0.0), alpha.value
+    beta = 2.0 / vnorm2
+    if not beta.isfinite():
         v = np.zeros(n, dtype=ctx.dtype)
         if n:
             v[0] = 1.0
-        return v, ctx.dtype(0.0), alpha
-    return v, beta, alpha
+        return v, ctx.dtype(0.0), alpha.value
+    return v.data, beta.value, alpha.value
 
 
 def apply_reflector_left(ctx, v, beta, A):
     """Apply ``(I - beta v v^T)`` from the left: ``A <- A - beta v (v^T A)``."""
-    A = np.asarray(A, dtype=ctx.dtype)
+    A = ctx.wrap(A)
     if float(beta) == 0.0:
-        return A.copy()
-    w = ctx.gemv_t(A, v)  # v^T A
-    update = ctx.mul(ctx.mul(beta, v)[:, np.newaxis], w[np.newaxis, :])
-    return ctx.sub(A, update)
+        return A.data.copy()
+    v = ctx.wrap(v)
+    beta = ctx.wrap_scalar(beta)
+    w = v @ A  # v^T A
+    update = (beta * v)[:, np.newaxis] * w[np.newaxis, :]
+    return (A - update).data
 
 
 def apply_reflector_right(ctx, A, v, beta):
     """Apply ``(I - beta v v^T)`` from the right: ``A <- A - beta (A v) v^T``."""
-    A = np.asarray(A, dtype=ctx.dtype)
+    A = ctx.wrap(A)
     if float(beta) == 0.0:
-        return A.copy()
-    w = ctx.gemv(A, v)  # A v
-    update = ctx.mul(w[:, np.newaxis], ctx.mul(beta, v)[np.newaxis, :])
-    return ctx.sub(A, update)
+        return A.data.copy()
+    v = ctx.wrap(v)
+    beta = ctx.wrap_scalar(beta)
+    w = A @ v
+    update = w[:, np.newaxis] * (beta * v)[np.newaxis, :]
+    return (A - update).data
 
 
 def givens_rotation(ctx, a, b):
@@ -86,35 +98,39 @@ def givens_rotation(ctx, a, b):
     The rotation is normalised so that ``c^2 + s^2 = 1`` up to rounding in the
     target arithmetic.
     """
-    a = ctx.dtype(a)
-    b = ctx.dtype(b)
+    a = ctx.wrap_scalar(a)
+    b = ctx.wrap_scalar(b)
     if float(b) == 0.0:
-        return ctx.dtype(1.0), ctx.dtype(0.0), a
+        return ctx.dtype(1.0), ctx.dtype(0.0), a.value
     if float(a) == 0.0:
-        return ctx.dtype(0.0), ctx.dtype(1.0), b
-    r = ctx.hypot(a, b)
-    if not np.isfinite(r) or float(r) == 0.0:
-        return ctx.dtype(1.0), ctx.dtype(0.0), a
-    c = ctx.div(a, r)
-    s = ctx.div(b, r)
-    return c, s, r
+        return ctx.dtype(0.0), ctx.dtype(1.0), b.value
+    r = a.hypot(b)
+    if not r.isfinite() or float(r) == 0.0:
+        return ctx.dtype(1.0), ctx.dtype(0.0), a.value
+    c = a / r
+    s = b / r
+    return c.value, s.value, r.value
 
 
 def apply_givens_left(ctx, c, s, A, i, j):
     """Rotate rows ``i`` and ``j`` of ``A`` in place-semantics (returns copy)."""
-    A = np.array(A, dtype=ctx.dtype, copy=True)
+    A = ctx.wrap(np.array(A, dtype=ctx.dtype, copy=True))
+    c = ctx.wrap_scalar(c)
+    s = ctx.wrap_scalar(s)
     row_i = A[i, :].copy()
     row_j = A[j, :].copy()
-    A[i, :] = ctx.add(ctx.mul(c, row_i), ctx.mul(s, row_j))
-    A[j, :] = ctx.sub(ctx.mul(c, row_j), ctx.mul(s, row_i))
-    return A
+    A[i, :] = c * row_i + s * row_j
+    A[j, :] = c * row_j - s * row_i
+    return A.data
 
 
 def apply_givens_right(ctx, c, s, A, i, j):
     """Rotate columns ``i`` and ``j`` of ``A`` (returns a new array)."""
-    A = np.array(A, dtype=ctx.dtype, copy=True)
+    A = ctx.wrap(np.array(A, dtype=ctx.dtype, copy=True))
+    c = ctx.wrap_scalar(c)
+    s = ctx.wrap_scalar(s)
     col_i = A[:, i].copy()
     col_j = A[:, j].copy()
-    A[:, i] = ctx.add(ctx.mul(c, col_i), ctx.mul(s, col_j))
-    A[:, j] = ctx.sub(ctx.mul(c, col_j), ctx.mul(s, col_i))
-    return A
+    A[:, i] = c * col_i + s * col_j
+    A[:, j] = c * col_j - s * col_i
+    return A.data

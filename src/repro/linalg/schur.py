@@ -6,8 +6,11 @@ here complete the dense-linear-algebra substrate so the library can also
 factorise non-symmetric projected matrices (as ``ArnoldiMethod.jl`` does) and
 serve as an independent cross-check in the test-suite.
 
-All operations run through a compute context, so the decomposition can be
-carried out in any of the emulated arithmetics.
+All arithmetic runs through a compute context — the kernels are written in
+the operator form of :mod:`repro.arithmetic.farray` (each operator is one
+rounded context operation), so the decomposition can be carried out in any of
+the emulated arithmetics.  Deflation scans compare raw ``.data`` entries:
+those are exact float tests, not arithmetic in the target format.
 """
 
 from __future__ import annotations
@@ -55,6 +58,7 @@ def hessenberg(ctx, A):
 def _split_2x2(ctx, T, Z, p):
     """Try to rotate the 2x2 block at ``p-1:p+1`` into triangular form.
 
+    ``T`` and ``Z`` are context-bound matrices, updated in place.
     Real-eigenvalue blocks are split; complex-conjugate blocks are left as
     standard 2x2 Schur bumps.  Returns True if the block was split.
     """
@@ -62,7 +66,7 @@ def _split_2x2(ctx, T, Z, p):
     b = T[p - 1, p]
     c = T[p, p - 1]
     d = T[p, p]
-    # eigenvalues of [[a, b], [c, d]]
+    # eigenvalues of [[a, b], [c, d]] (work-precision shift estimate)
     tr_half = 0.5 * (float(a) + float(d))
     det = float(a) * float(d) - float(b) * float(c)
     disc = tr_half * tr_half - det
@@ -72,23 +76,23 @@ def _split_2x2(ctx, T, Z, p):
     if lam == 0.0:
         lam = tr_half - np.sqrt(disc)
     # rotation sending (a - lam, c) to (r, 0)
-    cos, sin, _ = givens_rotation(ctx, ctx.sub(a, ctx.dtype(lam)), c)
-    rows = slice(p - 1, p + 1)
+    cos, sin, _ = givens_rotation(ctx, (a - ctx.dtype(lam)).value, c.value)
+    cos = ctx.wrap_scalar(cos)
+    sin = ctx.wrap_scalar(sin)
     # apply G^T from the left and G from the right on full rows/columns
     row_i = T[p - 1, :].copy()
     row_j = T[p, :].copy()
-    T[p - 1, :] = ctx.add(ctx.mul(cos, row_i), ctx.mul(sin, row_j))
-    T[p, :] = ctx.sub(ctx.mul(cos, row_j), ctx.mul(sin, row_i))
+    T[p - 1, :] = cos * row_i + sin * row_j
+    T[p, :] = cos * row_j - sin * row_i
     col_i = T[:, p - 1].copy()
     col_j = T[:, p].copy()
-    T[:, p - 1] = ctx.add(ctx.mul(cos, col_i), ctx.mul(sin, col_j))
-    T[:, p] = ctx.sub(ctx.mul(cos, col_j), ctx.mul(sin, col_i))
+    T[:, p - 1] = cos * col_i + sin * col_j
+    T[:, p] = cos * col_j - sin * col_i
     zcol_i = Z[:, p - 1].copy()
     zcol_j = Z[:, p].copy()
-    Z[:, p - 1] = ctx.add(ctx.mul(cos, zcol_i), ctx.mul(sin, zcol_j))
-    Z[:, p] = ctx.sub(ctx.mul(cos, zcol_j), ctx.mul(sin, zcol_i))
+    Z[:, p - 1] = cos * zcol_i + sin * zcol_j
+    Z[:, p] = cos * zcol_j - sin * zcol_i
     T[p, p - 1] = 0.0
-    del rows
     return True
 
 
@@ -105,8 +109,9 @@ def real_schur(ctx, A, max_iterations: int | None = None):
     n = H.shape[0]
     if n <= 1:
         return H, Q
-    T = H
-    Z = Q
+    T = ctx.wrap(H)
+    Z = ctx.wrap(Q)
+    T_raw = T.data
     if max_iterations is None:
         max_iterations = 40 * n
     eps = float(ctx.machine_epsilon)
@@ -114,17 +119,17 @@ def real_schur(ctx, A, max_iterations: int | None = None):
     total_iter = 0
     stagnation = 0
     while high > 0:
-        if not np.all(np.isfinite(T)):
+        if not T.all_finite():
             raise EigenConvergenceError("non-finite values during QR iteration")
         # deflate negligible subdiagonals
         for i in range(1, high + 1):
-            if abs(float(T[i, i - 1])) <= eps * (
-                abs(float(T[i - 1, i - 1])) + abs(float(T[i, i]))
+            if abs(float(T_raw[i, i - 1])) <= eps * (
+                abs(float(T_raw[i - 1, i - 1])) + abs(float(T_raw[i, i]))
             ):
-                T[i, i - 1] = 0.0
+                T_raw[i, i - 1] = 0.0
         # find the active block [low..high]
         low = high
-        while low > 0 and float(T[low, low - 1]) != 0.0:
+        while low > 0 and float(T_raw[low, low - 1]) != 0.0:
             low -= 1
         if low == high:
             high -= 1
@@ -144,59 +149,55 @@ def real_schur(ctx, A, max_iterations: int | None = None):
         # double shift from the trailing 2x2 block (exceptional shift when
         # progress stalls)
         if stagnation % 12 == 0:
-            s = abs(float(T[high, high - 1])) + abs(float(T[high - 1, high - 2]))
-            trace = ctx.dtype(1.5 * s)
-            det = ctx.dtype(s * s)
+            s = abs(float(T_raw[high, high - 1])) + abs(float(T_raw[high - 1, high - 2]))
+            trace = ctx.wrap_scalar(1.5 * s)
+            det = ctx.wrap_scalar(s * s)
         else:
-            trace = ctx.add(T[high - 1, high - 1], T[high, high])
-            det = ctx.sub(
-                ctx.mul(T[high - 1, high - 1], T[high, high]),
-                ctx.mul(T[high - 1, high], T[high, high - 1]),
-            )
+            trace = T[high - 1, high - 1] + T[high, high]
+            det = T[high - 1, high - 1] * T[high, high] - T[high - 1, high] * T[high, high - 1]
         # first column of (T - s1 I)(T - s2 I)
-        x = ctx.add(
-            ctx.sub(
-                ctx.mul(T[low, low], T[low, low]),
-                ctx.mul(trace, T[low, low]),
-            ),
-            ctx.add(det, ctx.mul(T[low, low + 1], T[low + 1, low])),
+        x = (T[low, low] * T[low, low] - trace * T[low, low]) + (
+            det + T[low, low + 1] * T[low + 1, low]
         )
-        y = ctx.mul(
-            T[low + 1, low],
-            ctx.sub(ctx.add(T[low, low], T[low + 1, low + 1]), trace),
+        y = T[low + 1, low] * ((T[low, low] + T[low + 1, low + 1]) - trace)
+        z = (
+            T[low + 2, low + 1] * T[low + 1, low]
+            if low + 2 <= high
+            else ctx.wrap_scalar(0.0)
         )
-        z = ctx.mul(T[low + 2, low + 1], T[low + 1, low]) if low + 2 <= high else ctx.dtype(0.0)
         # bulge chasing
         for k in range(low, high - 1):
-            vec = np.array([x, y, z], dtype=ctx.dtype)
+            vec = np.array([x.value, y.value, z.value], dtype=ctx.dtype)
             v_small, beta, _ = householder_vector(ctx, vec)
             if float(beta) != 0.0:
                 v = np.zeros(n, dtype=ctx.dtype)
                 upto = min(k + 3, high + 1)
                 v[k : upto] = v_small[: upto - k]
-                T = apply_reflector_left(ctx, v, beta, T)
-                T = apply_reflector_right(ctx, T, v, beta)
-                Z = apply_reflector_right(ctx, Z, v, beta)
+                T = ctx.wrap(apply_reflector_left(ctx, v, beta, T.data))
+                T = ctx.wrap(apply_reflector_right(ctx, T.data, v, beta))
+                Z = ctx.wrap(apply_reflector_right(ctx, Z.data, v, beta))
+                T_raw = T.data
             x = T[k + 1, k]
-            y = T[k + 2, k] if k + 2 <= high else ctx.dtype(0.0)
-            z = T[k + 3, k] if k + 3 <= high else ctx.dtype(0.0)
+            y = T[k + 2, k] if k + 2 <= high else ctx.wrap_scalar(0.0)
+            z = T[k + 3, k] if k + 3 <= high else ctx.wrap_scalar(0.0)
         # final 2-element reflector
-        vec = np.array([x, y], dtype=ctx.dtype)
+        vec = np.array([x.value, y.value], dtype=ctx.dtype)
         v_small, beta, _ = householder_vector(ctx, vec)
         if float(beta) != 0.0:
             v = np.zeros(n, dtype=ctx.dtype)
             v[high - 1 : high + 1] = v_small
-            T = apply_reflector_left(ctx, v, beta, T)
-            T = apply_reflector_right(ctx, T, v, beta)
-            Z = apply_reflector_right(ctx, Z, v, beta)
+            T = ctx.wrap(apply_reflector_left(ctx, v, beta, T.data))
+            T = ctx.wrap(apply_reflector_right(ctx, T.data, v, beta))
+            Z = ctx.wrap(apply_reflector_right(ctx, Z.data, v, beta))
+            T_raw = T.data
         # clean entries below the first subdiagonal of the active block
         for i in range(low + 2, high + 1):
-            T[i, : i - 1] = 0.0
+            T_raw[i, : i - 1] = 0.0
     # final pass: split any remaining real-eigenvalue 2x2 blocks
     for p in range(n - 1, 0, -1):
-        if float(T[p, p - 1]) != 0.0:
+        if float(T_raw[p, p - 1]) != 0.0:
             _split_2x2(ctx, T, Z, p)
-    return T, Z
+    return T.data, Z.data
 
 
 def schur_eigenvalues(T) -> np.ndarray:

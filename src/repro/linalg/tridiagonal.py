@@ -10,6 +10,14 @@ that it can run in any emulated arithmetic:
    (:func:`tridiagonal_eigen`), following the classic EISPACK ``tql2``
    algorithm.
 
+The kernels are written in the operator form of
+:mod:`repro.arithmetic.farray`: the rotation recurrences read as plain
+arithmetic (``r = (d[i] - g) * s + (2.0 * c) * b``) while every operator
+performs exactly one rounded context operation, keeping the trajectories
+bit-identical to the explicit ``ctx.add(ctx.mul(...))`` spelling.
+Convergence scans and deflation thresholds read the raw ``.data`` buffers —
+they are exact float comparisons, not arithmetic in the target format.
+
 In very low precision the QL iteration may fail to deflate; this is reported
 as :class:`EigenConvergenceError` and surfaces as the paper's ∞ω
 (no-convergence) marker in the experiments.
@@ -88,32 +96,33 @@ def tridiagonal_eigen(ctx, d, e, Z=None, max_sweeps: int = 60):
         If a sweep budget is exhausted or non-finite values appear (both are
         common failure modes of 8-bit arithmetic).
     """
-    d = np.array(np.asarray(d, dtype=ctx.dtype), copy=True)
-    n = d.shape[0]
+    d_full = np.array(np.asarray(d, dtype=ctx.dtype), copy=True)
+    n = d_full.shape[0]
     e_full = np.zeros(n, dtype=ctx.dtype)
     if n > 1:
         e_full[: n - 1] = np.asarray(e, dtype=ctx.dtype)[: n - 1]
     if Z is None:
-        Z = np.eye(n, dtype=ctx.dtype)
+        Z_full = np.eye(n, dtype=ctx.dtype)
     else:
-        Z = np.array(np.asarray(Z, dtype=ctx.dtype), copy=True)
+        Z_full = np.array(np.asarray(Z, dtype=ctx.dtype), copy=True)
     if n == 0:
-        return d, Z
-    eps = ctx.dtype(ctx.machine_epsilon)
-    eps_f = float(eps)  # deflation threshold, reused across the scans below
-    one = ctx.dtype(1.0)
-    two = ctx.dtype(2.0)
+        return d_full, Z_full
+    # bind once; the raw buffers stay aliased for the exact float scans below
+    d = ctx.wrap(d_full)
+    e = ctx.wrap(e_full)
+    Z = ctx.wrap(Z_full)
+    eps_f = float(ctx.machine_epsilon)  # deflation threshold, reused below
 
     for l in range(n):
         sweeps = 0
         while True:
-            if not (np.all(np.isfinite(d)) and np.all(np.isfinite(e_full))):
+            if not (d.all_finite() and e.all_finite()):
                 raise EigenConvergenceError(
                     "non-finite values during QL iteration"
                 )
             m = l
             while m < n - 1:
-                dd = abs(float(d[m])) + abs(float(d[m + 1]))
+                dd = abs(float(d_full[m])) + abs(float(d_full[m + 1]))
                 if abs(float(e_full[m])) <= eps_f * dd:
                     break
                 m += 1
@@ -126,45 +135,51 @@ def tridiagonal_eigen(ctx, d, e, Z=None, max_sweeps: int = 60):
                     f"{max_sweeps} sweeps in {ctx.name}"
                 )
             # Wilkinson-like shift
-            g = ctx.div(ctx.sub(d[l + 1], d[l]), ctx.mul(two, e_full[l]))
-            r = ctx.hypot(g, one)
-            denom = ctx.add(g, np.copysign(r, g))
-            if float(denom) == 0.0 or not np.isfinite(denom):
-                denom = np.copysign(ctx.dtype(max(float(eps), 1e-30)), g)
-            g = ctx.add(ctx.sub(d[m], d[l]), ctx.div(e_full[l], denom))
-            s = one
-            c = one
-            p = ctx.dtype(0.0)
+            g = (d[l + 1] - d[l]) / (2.0 * e[l])
+            r = g.hypot(1.0)
+            denom = g + r.copysign(g)
+            if float(denom) == 0.0 or not denom.isfinite():
+                denom = ctx.wrap_scalar(
+                    np.copysign(ctx.dtype(max(eps_f, 1e-30)), g.value)
+                )
+            g = (d[m] - d[l]) + e[l] / denom
+            s = ctx.wrap_scalar(1.0)
+            c = ctx.wrap_scalar(1.0)
+            p = ctx.wrap_scalar(0.0)
             restart = False
             for i in range(m - 1, l - 1, -1):
-                f = ctx.mul(s, e_full[i])
-                b = ctx.mul(c, e_full[i])
-                r = ctx.hypot(f, g)
-                e_full[i + 1] = r
+                ei = e[i]
+                f = s * ei
+                b = c * ei
+                r = f.hypot(g)
+                e[i + 1] = r
                 if float(r) == 0.0:
-                    d[i + 1] = ctx.sub(d[i + 1], p)
-                    e_full[m] = ctx.dtype(0.0)
+                    d[i + 1] = d[i + 1] - p
+                    e[m] = 0.0
                     restart = True
                     break
-                s = ctx.div(f, r)
-                c = ctx.div(g, r)
-                g = ctx.sub(d[i + 1], p)
-                r = ctx.add(
-                    ctx.mul(ctx.sub(d[i], g), s), ctx.mul(ctx.mul(two, c), b)
-                )
-                p = ctx.mul(s, r)
-                d[i + 1] = ctx.add(g, p)
-                g = ctx.sub(ctx.mul(c, r), b)
-                zi = Z[:, i].copy()
-                zi1 = Z[:, i + 1].copy()
-                Z[:, i + 1] = ctx.add(ctx.mul(s, zi), ctx.mul(c, zi1))
-                Z[:, i] = ctx.sub(ctx.mul(c, zi), ctx.mul(s, zi1))
+                s = f / r
+                c = g / r
+                g = d[i + 1] - p
+                r = (d[i] - g) * s + (2.0 * c) * b
+                p = s * r
+                d[i + 1] = g + p
+                g = c * r - b
+                # both rotated columns are computed before either write, so
+                # the views need no defensive copies (same rounded ops, same
+                # inputs as the copy-first spelling)
+                zi = Z[:, i]
+                zi1 = Z[:, i + 1]
+                znew_i1 = s * zi + c * zi1
+                znew_i = c * zi - s * zi1
+                Z[:, i + 1] = znew_i1
+                Z[:, i] = znew_i
             if restart:
                 continue
-            d[l] = ctx.sub(d[l], p)
-            e_full[l] = g
-            e_full[m] = ctx.dtype(0.0)
-    return d, Z
+            d[l] = d[l] - p
+            e[l] = g
+            e[m] = 0.0
+    return d_full, Z_full
 
 
 def symmetric_eigen(ctx, A, max_sweeps: int = 60):
@@ -176,13 +191,13 @@ def symmetric_eigen(ctx, A, max_sweeps: int = 60):
 
     Returns ``(w, V)`` with ``A @ V[:, j] ≈ w[j] * V[:, j]``.
     """
-    A = np.asarray(A, dtype=ctx.dtype)
+    A = ctx.wrap(np.asarray(A, dtype=ctx.dtype))
     if A.shape[0] != A.shape[1]:
         raise ValueError("symmetric_eigen requires a square matrix")
     if A.shape[0] == 0:
         return np.zeros(0, dtype=ctx.dtype), np.zeros((0, 0), dtype=ctx.dtype)
     if A.shape[0] == 1:
-        return A[0, :1].copy(), np.ones((1, 1), dtype=ctx.dtype)
-    sym = ctx.mul(ctx.dtype(0.5), ctx.add(A, A.T))
-    d, e, Q = tridiagonalize(ctx, sym)
+        return A.data[0, :1].copy(), np.ones((1, 1), dtype=ctx.dtype)
+    sym = 0.5 * (A + A.T)
+    d, e, Q = tridiagonalize(ctx, sym.data)
     return tridiagonal_eigen(ctx, d, e, Z=Q, max_sweeps=max_sweeps)

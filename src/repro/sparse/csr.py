@@ -142,6 +142,10 @@ class CSRMatrix:
         return out
 
     def __matmul__(self, x):
+        if hasattr(x, "ctx"):
+            # context-bound operand (repro.arithmetic.farray.FArray): defer
+            # to its __rmatmul__, which applies the rounded sparse kernel
+            return NotImplemented
         return self.matvec(x)
 
     def diagonal(self) -> np.ndarray:

@@ -124,6 +124,60 @@ class TestReductions:
     def test_norm_of_zero_vector(self, emulated_ctx):
         assert float(emulated_ctx.norm2(np.zeros(5))) == 0.0
 
+    def test_hypot_survives_near_format_maximum_e4m3(self):
+        # regression: sqrt(a² + b²) used to overflow E4M3 (max 448) to NaN
+        # for representable inputs; the scaled form must return the correctly
+        # rounded magnitude
+        ctx = get_context("E4M3")
+        a, b = np.float64(300.0), np.float64(200.0)
+        naive = ctx.sqrt(ctx.add(ctx.mul(a, a), ctx.mul(b, b)))
+        assert not np.isfinite(float(naive))  # the failure mode being fixed
+        out = float(ctx.hypot(a, b))
+        assert np.isfinite(out)
+        assert out == pytest.approx(np.hypot(300.0, 200.0), rel=0.15)
+
+    def test_hypot_survives_near_format_maximum_posit8(self):
+        # posits saturate instead of overflowing: the naive form silently
+        # returns sqrt(maxpos) = 4096 where the true magnitude is ~11585
+        ctx = get_context("posit8")
+        a = ctx.round_scalar(8192.0)
+        assert float(a) == 8192.0  # representable input near the top decade
+        naive = float(ctx.sqrt(ctx.add(ctx.mul(a, a), ctx.mul(a, a))))
+        assert naive == pytest.approx(4096.0)
+        out = float(ctx.hypot(a, a))
+        assert out == pytest.approx(8192.0)  # nearest posit8 to 8192*sqrt(2)
+
+    def test_hypot_matches_composed_scaling(self, emulated_ctx):
+        # scaled hypot must equal the norm2-style composition (divide both
+        # operands, square, sum, sqrt, rescale) bit for bit
+        ctx = emulated_ctx
+        rng = np.random.default_rng(17)
+        for _ in range(25):
+            a, b = (ctx.round_scalar(v) for v in rng.standard_normal(2))
+            scale = max(abs(a), abs(b))
+            if float(scale) == 0.0:
+                continue
+            ha = ctx.div(abs(a), scale)
+            hb = ctx.div(abs(b), scale)
+            composed = ctx.mul(
+                scale,
+                ctx.sqrt(ctx.add(ctx.mul(ha, ha), ctx.mul(hb, hb))),
+            )
+            assert float(ctx.hypot(a, b)) == float(composed)
+
+    def test_hypot_edge_cases(self, emulated_ctx):
+        ctx = emulated_ctx
+        zero = np.float64(0.0)
+        assert float(ctx.hypot(zero, zero)) == 0.0
+        assert float(ctx.hypot(ctx.round_scalar(3.0), zero)) == 3.0
+        assert np.isnan(float(ctx.hypot(np.float64(np.nan), np.float64(1.0))))
+        # array branch agrees with the scalar branch elementwise
+        a = ctx.round(np.asarray([3.0, 0.5, 0.0], dtype=ctx.dtype))
+        b = ctx.round(np.asarray([4.0, 0.25, 0.0], dtype=ctx.dtype))
+        vec = ctx.hypot(a, b)
+        for i in range(3):
+            assert float(vec[i]) == float(ctx.hypot(a[i], b[i]))
+
     def test_axpy_and_scale(self, float64_ctx, rng):
         x = rng.standard_normal(10)
         y = rng.standard_normal(10)

@@ -8,11 +8,20 @@ regenerating the figure and writes the regenerated cumulative-error report to
 
 from __future__ import annotations
 
+import time
+
 from repro.arithmetic.registry import PAPER_FORMATS
 from repro.datasets import get_suite
 from repro.experiments import figure_report, run_experiment
+from repro.utils.parallel import default_workers
 
-from .conftest import bench_config, bench_matrix_count, bench_size_range, write_report
+from .conftest import (
+    bench_config,
+    bench_matrix_count,
+    bench_size_range,
+    write_json_report,
+    write_report,
+)
 
 
 def all_paper_formats() -> list[str]:
@@ -30,17 +39,42 @@ def build_suite(suite_name: str, seed: int = 0):
 
 
 def run_figure(benchmark, suite_name: str, figure_title: str, output_name: str):
-    """Benchmark body shared by the five figure benchmarks."""
+    """Benchmark body shared by the five figure benchmarks.
+
+    Writes the regenerated text report *and* a machine-readable JSON twin
+    (wall time, suite/format/scale parameters, git rev, hostname) to
+    ``benchmarks/output/`` so the perf trajectory is trackable across PRs.
+    """
     suite = build_suite(suite_name)
     config = bench_config()
     formats = all_paper_formats()
+    wall = {}
 
     def task():
-        return run_experiment(suite, formats, config, workers=1)
+        start = time.perf_counter()
+        res = run_experiment(suite, formats, config, workers=default_workers())
+        wall["seconds"] = time.perf_counter() - start
+        return res
 
     result = benchmark.pedantic(task, rounds=1, iterations=1)
     report = figure_report(result.records, widths=(8, 16, 32, 64), title=figure_title)
     write_report(output_name, report)
+    statuses: dict[str, int] = {}
+    for record in result.records:
+        statuses[record.status] = statuses.get(record.status, 0) + 1
+    write_json_report(
+        output_name.rsplit(".", 1)[0] + ".json",
+        {
+            "benchmark": output_name.rsplit(".", 1)[0],
+            "suite": suite_name,
+            "wall_seconds": round(wall["seconds"], 3),
+            "matrices": len(suite),
+            "size_range": list(bench_size_range()),
+            "restarts": config.restarts,
+            "formats": formats,
+            "statuses": statuses,
+        },
+    )
     # sanity: the evaluation must have produced at least one evaluated run in
     # a wide format (the reference and float64 should essentially always work)
     ok_runs = [r for r in result.records if r.status == "ok"]

@@ -5,6 +5,13 @@ Measures ``round_array`` throughput of the lookup-table engine
 table-eligible format.  The acceptance bar for the engine is >= 3x on the
 8-bit formats, where the direct-indexed float32-pattern path applies.
 
+The *bit-kernel* section measures the integer bit-twiddling engine
+(:mod:`repro.arithmetic.bitkernels`) against the analytic vector kernels at
+64k values for every format it serves.  The acceptance bar is >= 3x on the
+32-bit posit/takum formats (the paper-pipeline hot path the engine was
+built for); the CI gate (``--check``) fails if any kernel-served format
+rounds *slower* than its analytic kernel.
+
 The *scalar* section measures per-scalar rounding at solver-call sizes for
 the wide (32/64-bit) formats the tables cannot serve: the old route (one
 ``round_array_analytic`` call on a 1-element ndarray, which is what every
@@ -17,15 +24,30 @@ Run under pytest-benchmark::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_micro_rounding.py --benchmark-only
 
-or standalone (writes ``benchmarks/output/micro_rounding.txt``)::
+or standalone (writes ``benchmarks/output/micro_rounding.txt`` and its
+machine-readable twin ``micro_rounding.json``)::
 
     PYTHONPATH=src python benchmarks/bench_micro_rounding.py
+
+CI gate::
+
+    PYTHONPATH=src python benchmarks/bench_micro_rounding.py --check
 """
 
 from __future__ import annotations
 
 import pathlib
 import time
+
+if __package__ in (None, ""):
+    # executed as a script (python benchmarks/bench_micro_rounding.py):
+    # make src/ importable for the JSON metadata helper imports below
+    import sys
+
+    _root = pathlib.Path(__file__).resolve().parent.parent
+    for _entry in (str(_root), str(_root / "src")):
+        if _entry not in sys.path:
+            sys.path.insert(0, _entry)
 
 import numpy as np
 import pytest
@@ -37,6 +59,22 @@ SIXTEEN_BIT = ["float16", "bfloat16", "posit16", "takum16"]
 FORMATS = EIGHT_BIT + SIXTEEN_BIT
 #: wide formats served by the analytic scalar kernels instead of tables
 WIDE_FORMATS = ["float32", "float64", "posit32", "posit64", "takum32", "takum64"]
+#: formats served by the integer bit-twiddling engine
+BITKERNEL_FORMATS = [
+    "posit16",
+    "takum16",
+    "posit32",
+    "takum32",
+    "float16",
+    "bfloat16",
+    "E5M2",
+    "E4M3",
+    "posit8",
+    "takum8",
+]
+#: the paper-pipeline hot path: the bit kernels must deliver >= 3x here
+BITKERNEL_TARGET_FORMATS = ("posit32", "takum32")
+BITKERNEL_TARGET_SPEEDUP = 3.0
 
 #: benchmark workload size (values per round_array call)
 N_VALUES = 1 << 16
@@ -73,6 +111,23 @@ def test_rounding_throughput(benchmark, fmt_name, backend, values):
     fmt = get_format(fmt_name)
     runner = BACKENDS[backend]
     runner(fmt, values)  # warm the table / per-format caches
+    benchmark.extra_info["values_per_call"] = values.size
+    benchmark(lambda: runner(fmt, values))
+
+
+# --------------------------------------------------------------------- #
+# integer bit-kernel rounding (the wide-format vector hot path)
+# --------------------------------------------------------------------- #
+def _round_bitkernel(fmt, values):
+    return fmt.bitkernel().round(values)
+
+
+@pytest.mark.parametrize("fmt_name", ["posit32", "takum32", "posit16", "takum16"])
+@pytest.mark.parametrize("backend", ["analytic", "bitkernel"])
+def test_bitkernel_throughput(benchmark, fmt_name, backend, values):
+    fmt = get_format(fmt_name)
+    runner = _round_analytic if backend == "analytic" else _round_bitkernel
+    runner(fmt, values)  # warm the LUTs / per-format caches
     benchmark.extra_info["values_per_call"] = values.size
     benchmark(lambda: runner(fmt, values))
 
@@ -171,7 +226,49 @@ def run_scalar_report() -> list[str]:
     return lines
 
 
-def run_report() -> str:
+def run_bitkernel_report(record: dict | None = None) -> list[str]:
+    """Bit-kernel vs analytic vector rounding at benchmark size.
+
+    When ``record`` is given, per-format speedups are stored into it
+    (feeding both the JSON artifact and the ``--check`` gate).
+    """
+    values = workload()
+    lines = [
+        f"Bit-kernel rounding vs analytic kernels ({values.size} values/call)",
+        f"{'format':<10s} {'bitkernel [Mval/s]':>19s} {'analytic [Mval/s]':>18s} {'speedup':>9s}",
+    ]
+    for fmt_name in BITKERNEL_FORMATS:
+        fmt = get_format(fmt_name)
+        if fmt.bitkernel() is None:  # engine disabled via env/runtime switch
+            continue
+        kern_s, analytic_s = [], []
+        for _ in range(3):  # interleave to cancel CPU frequency drift
+            kern_s.append(_median_throughput(lambda v: _round_bitkernel(fmt, v), values, repeats=5))
+            analytic_s.append(_median_throughput(lambda v: _round_analytic(fmt, v), values, repeats=5))
+        kern_tp = float(np.median(kern_s))
+        analytic_tp = float(np.median(analytic_s))
+        speedup = kern_tp / analytic_tp
+        if record is not None:
+            record[fmt_name] = {
+                "bitkernel_mvals": round(kern_tp / 1e6, 2),
+                "analytic_mvals": round(analytic_tp / 1e6, 2),
+                "speedup": round(speedup, 3),
+            }
+        lines.append(
+            f"{fmt_name:<10s} {kern_tp / 1e6:>19.1f} {analytic_tp / 1e6:>18.1f} "
+            f"{speedup:>8.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        "dispatch: the bit kernels serve vector rounding for every format "
+        "above except the 8-bit ones, where the direct-indexed table (a "
+        "single gather) stays faster; posit64/takum64 keep the longdouble "
+        "analytic fallback."
+    )
+    return lines
+
+
+def run_report(record: dict | None = None) -> str:
     values = workload()
     lines = [
         "Micro-benchmark: rounding throughput per format (values/s)",
@@ -194,20 +291,90 @@ def run_report() -> str:
         )
     lines.append("")
     lines.append(
-        "default backend: table rounding for every format above except "
-        "float16/bfloat16, whose analytic quantum kernel is faster than a "
-        "2^15-entry searchsorted (they still use table encode/decode)."
+        "default backend: table rounding for the 8-bit formats (direct "
+        "index); the 16-bit formats round through the integer bit kernels "
+        "at vector sizes (tables still serve their scalar path and "
+        "encode/decode)."
     )
+    lines.append("")
+    lines.extend(run_bitkernel_report(record))
     lines.append("")
     lines.extend(run_scalar_report())
     return "\n".join(lines) + "\n"
 
 
-if __name__ == "__main__":
-    report = run_report()
+def run_check(threshold: float = 1.0) -> int:
+    """CI gate: every format whose *rounding dispatch* uses a bit kernel
+    must round at least as fast as its analytic kernel at 64k values, and
+    the 32-bit posit/takum hot path must clear
+    :data:`BITKERNEL_TARGET_SPEEDUP`.  The 8-bit formats are reported but
+    not gated: their dispatch keeps the direct-indexed table, so their
+    kernel margins (which can be thin on noisy shared runners) guard
+    nothing.  Returns an exit code.
+    """
+    record: dict = {}
+    lines = run_bitkernel_report(record)
+    print("\n".join(lines))
+    if not record:
+        print("SKIP: bit kernels disabled in this environment")
+        return 0
+    failed = []
+    for fmt_name, row in record.items():
+        if get_format(fmt_name).bits <= 8:
+            continue  # dispatch uses the direct-indexed table, not the kernel
+        if row["speedup"] < threshold:
+            failed.append(f"{fmt_name}: {row['speedup']:.2f}x < {threshold:.2f}x")
+    for fmt_name in BITKERNEL_TARGET_FORMATS:
+        row = record.get(fmt_name)
+        if row is not None and row["speedup"] < BITKERNEL_TARGET_SPEEDUP:
+            failed.append(
+                f"{fmt_name}: {row['speedup']:.2f}x < the "
+                f"{BITKERNEL_TARGET_SPEEDUP:.0f}x hot-path target"
+            )
+    if failed:
+        print("FAIL: bit kernels slower than the acceptance bars:")
+        for line in failed:
+            print(f"  {line}")
+        return 1
+    print("OK: bit kernels meet the acceptance bars on every served format")
+    return 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: fail (exit 1) if any bit kernel is slower than the "
+        "analytic kernel at 64k values, or the 32-bit posit/takum hot path "
+        "misses its 3x target",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return run_check()
+    record: dict = {}
+    report = run_report(record)
     out_dir = pathlib.Path(__file__).parent / "output"
     out_dir.mkdir(parents=True, exist_ok=True)
     out_path = out_dir / "micro_rounding.txt"
     out_path.write_text(report, encoding="utf-8")
+    from benchmarks.conftest import write_json_report
+
+    json_path = write_json_report(
+        "micro_rounding.json",
+        {
+            "benchmark": "micro_rounding",
+            "values_per_call": N_VALUES,
+            "bitkernel_vs_analytic": record,
+        },
+    )
     print(report)
     print(f"report written to {out_path}")
+    print(f"json artifact written to {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -218,6 +218,20 @@ def main(argv=None) -> int:
         if agg < aggregate:
             per_format, aggregate = pf, agg
     print(format_ql_overhead_report(per_format, aggregate))
+    from benchmarks.conftest import write_json_report
+
+    write_json_report(
+        "micro_solver_operator_api.json",
+        {
+            "benchmark": "micro_solver_operator_api",
+            "aggregate_overhead": round(aggregate, 4),
+            "overhead_limit": OVERHEAD_LIMIT,
+            "per_format": {
+                fmt: {"operator_s": round(t_op, 6), "explicit_s": round(t_ex, 6)}
+                for fmt, (t_op, t_ex) in per_format.items()
+            },
+        },
+    )
     if args.check and aggregate > OVERHEAD_LIMIT:
         print(
             f"FAIL: aggregate operator-API overhead {aggregate:+.2%} exceeds "

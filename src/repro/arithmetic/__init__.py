@@ -23,20 +23,33 @@ context methods; :func:`repro.arithmetic.precision` binds a precision for a
 block of such code, and :class:`repro.arithmetic.ContextSpec` names a
 context declaratively for the runner and CLI.
 
-Formats of up to 16 bits are served by the shared lookup-table rounding
-engine (:mod:`repro.arithmetic.tables`): the finite value set is enumerated
-once per process, cached across contexts and pre-warmed before experiment
-workers fork, with a direct-indexed O(1) path for the 8-bit formats.  Wider
-formats carry pure-Python scalar kernels (``round_scalar_analytic``) that
-serve scalars and tiny arrays — the regime of the solvers' elementwise
-operations — without NumPy dispatch overhead; see
-``docs/architecture.md`` for the full dispatch matrix.  The analytic vector
-kernels remain available as ground truth (``round_array_analytic`` /
-``use_tables=False`` / ``set_tables_enabled(False)`` /
-``REPRO_DISABLE_ROUNDING_TABLES=1``).
+Three fast rounding backends serve the formats, all bit-identical to the
+analytic ground truth: the shared lookup-table engine
+(:mod:`repro.arithmetic.tables`; formats of up to 16 bits, enumerated once
+per process, cached across contexts, pre-warmed before experiment workers
+fork, direct-indexed O(1) for 8-bit widths), the integer bit-twiddling
+kernels (:mod:`repro.arithmetic.bitkernels`; one family-parameterized
+round/encode/decode engine over float64 words serving vector rounding of
+the 16/32-bit posit/takum and non-cast IEEE formats), and the pure-Python
+scalar kernels (``round_scalar_analytic``) that serve scalars and tiny
+arrays — the regime of the solvers' elementwise operations — without NumPy
+dispatch overhead; see ``docs/architecture.md`` for the full dispatch
+matrix.  The analytic vector kernels remain available as ground truth
+(``round_array_analytic`` / ``use_tables=False`` /
+``set_tables_enabled(False)`` / ``set_bitkernels_enabled(False)`` /
+``REPRO_DISABLE_ROUNDING_TABLES=1`` / ``REPRO_DISABLE_BITKERNELS=1``).
 """
 
-from .base import NumberFormat, RoundingInfo
+from .base import LONGDOUBLE_EXTENDED, NumberFormat, RoundingInfo
+from .bitkernels import (
+    BitKernel,
+    E4M3BitKernel,
+    IEEEBitKernel,
+    PositBitKernel,
+    TakumBitKernel,
+    bitkernels_enabled,
+    set_enabled as set_bitkernels_enabled,
+)
 from .ieee import IEEEFormat, BFLOAT16, FLOAT16, FLOAT32, FLOAT64
 from .ofp8 import OFP8E4M3, OFP8E5M2, E4M3, E5M2
 from .posit import PositFormat, POSIT8, POSIT16, POSIT32, POSIT64
@@ -77,6 +90,14 @@ from .farray import (
 __all__ = [
     "NumberFormat",
     "RoundingInfo",
+    "LONGDOUBLE_EXTENDED",
+    "BitKernel",
+    "IEEEBitKernel",
+    "E4M3BitKernel",
+    "PositBitKernel",
+    "TakumBitKernel",
+    "bitkernels_enabled",
+    "set_bitkernels_enabled",
     "IEEEFormat",
     "BFLOAT16",
     "FLOAT16",

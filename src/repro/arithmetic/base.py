@@ -14,10 +14,13 @@ from __future__ import annotations
 
 import bisect
 import dataclasses
+import warnings
 from abc import ABC, abstractmethod
 from typing import Optional
 
 import numpy as np
+
+from . import bitkernels as _bitkernels
 
 __all__ = [
     "NumberFormat",
@@ -28,6 +31,8 @@ __all__ = [
     "MAX_TABLE_BITS",
     "SCALAR_CUTOFF",
     "WIDE_SCALAR_CUTOFF",
+    "LONGDOUBLE_EXTENDED",
+    "require_extended_longdouble",
 ]
 
 #: widest format the lookup-table engine will enumerate (2^15 positive
@@ -39,6 +44,9 @@ MAX_TABLE_BITS = 16
 #: memoised reference to repro.arithmetic.tables.table_for (set on first use;
 #: the tables module imports this one, so a top-level import would be a cycle)
 _TABLE_FOR = None
+
+#: sentinel distinguishing 'bit kernel never built' from 'ineligible (None)'
+_UNSET = object()
 
 #: arrays up to this size round element-wise in pure Python when a lookup
 #: table is available (a ``bisect`` over the table beats ~10 NumPy dispatch
@@ -53,6 +61,43 @@ SCALAR_CUTOFF = 8
 #: (~35 us) regardless of size while a scalar call costs ~1.5 us, so the
 #: break-even sits near 24 elements.
 WIDE_SCALAR_CUTOFF = 24
+
+#: whether ``numpy.longdouble`` carries more significand bits than float64
+#: on this platform.  On Windows and most ARM builds longdouble *is*
+#: float64, which silently breaks the extended-precision emulation of the
+#: 64-bit posit/takum formats (their value space needs > 52 significand
+#: bits); :func:`require_extended_longdouble` warns when such a format is
+#: constructed, and the affected tests skip via the capability marker in
+#: ``tests/conftest.py``.
+LONGDOUBLE_EXTENDED = np.finfo(np.longdouble).nmant > np.finfo(np.float64).nmant
+
+_LONGDOUBLE_WARNED = False
+
+
+def require_extended_longdouble(format_name: str) -> bool:
+    """Check the extended-precision capability for ``format_name``.
+
+    Returns ``True`` when ``numpy.longdouble`` is wider than float64.  When
+    it is not (Windows/ARM), emits a single clear ``RuntimeWarning`` naming
+    the degraded formats — their emulation then silently loses the
+    sub-float64 significand bits — and returns ``False``.
+    """
+    global _LONGDOUBLE_WARNED
+    if LONGDOUBLE_EXTENDED:
+        return True
+    if not _LONGDOUBLE_WARNED:
+        _LONGDOUBLE_WARNED = True
+        warnings.warn(
+            f"numpy.longdouble on this platform is plain float64, so the "
+            f"extended-precision work arithmetic of {format_name!r} (and the "
+            "other 64-bit posit/takum formats) loses precision below the "
+            "52nd significand bit; 64-bit emulated results will not be "
+            "bit-accurate here.  Use an x86 Linux/macOS build for the "
+            "64-bit format experiments.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return False
 
 
 @dataclasses.dataclass
@@ -234,6 +279,11 @@ class NumberFormat(ABC):
     #: kernel when no lookup table serves the format; 0 disables the scalar
     #: dispatch (formats whose vector kernel is a plain dtype cast)
     scalar_cutoff: int = WIDE_SCALAR_CUTOFF
+    #: the same cutoff when an integer bit kernel serves the format: the
+    #: kernel's fixed dispatch cost (~20 us) undercuts the analytic vector
+    #: chain (~80 us), which moves the scalar-loop break-even down from ~24
+    #: to ~12 elements
+    bitkernel_scalar_cutoff: int = 12
 
     # ------------------------------------------------------------------ #
     # lookup-table backend
@@ -264,6 +314,39 @@ class NumberFormat(ABC):
         return self._rounding_table() is not None
 
     # ------------------------------------------------------------------ #
+    # integer bit-twiddling backend
+    # ------------------------------------------------------------------ #
+    #: whether the bit kernel should replace the lookup-table *rounding*
+    #: path at vector sizes (set by formats whose table kernel is a
+    #: 2^15-entry searchsorted, which the integer kernel beats; the 8-bit
+    #: direct-indexed table stays faster and keeps the table path)
+    prefer_bitkernel_rounding = False
+
+    def _build_bitkernel(self):
+        """Construct the family's :class:`~repro.arithmetic.bitkernels.BitKernel`
+        (``None`` by default: no integer kernel serves this format)."""
+        return None
+
+    def bitkernel(self):
+        """The active integer bit kernel for this format, or ``None``.
+
+        Built lazily once per format instance; gated on the global
+        :func:`repro.arithmetic.bitkernels.set_enabled` switch and on the
+        work dtype (the kernels operate on float64 words, so the
+        extended-precision 64-bit posit/takum formats keep their longdouble
+        analytic fallback).
+        """
+        if not _bitkernels.bitkernels_enabled():
+            return None
+        kern = self.__dict__.get("_bitkernel_obj", _UNSET)
+        if kern is _UNSET:
+            kern = None
+            if np.dtype(self.work_dtype) == np.dtype(np.float64):
+                kern = self._build_bitkernel()
+            self._bitkernel_obj = kern
+        return kern
+
+    # ------------------------------------------------------------------ #
     # bit-level interface
     # ------------------------------------------------------------------ #
     @abstractmethod
@@ -291,6 +374,9 @@ class NumberFormat(ABC):
         table = self._rounding_table()
         if table is not None:
             return table.decode_values(codes)
+        kern = self.bitkernel()
+        if kern is not None:
+            return kern.decode(codes)
         codes = np.asarray(codes, dtype=np.uint64)
         out = np.empty(codes.shape, dtype=self.work_dtype)
         flat = codes.ravel()
@@ -320,6 +406,9 @@ class NumberFormat(ABC):
             # IEEE formats keep the cheaper analytic quantum rounding), then
             # encode the representable results through the table
             return table.encode_representable(self.round_array(values))
+        kern = self.bitkernel()
+        if kern is not None:
+            return kern.encode(self.round_array(values))
         return self.encode_analytic(values)
 
     @abstractmethod
@@ -329,35 +418,65 @@ class NumberFormat(ABC):
     # ------------------------------------------------------------------ #
     # value-space interface
     # ------------------------------------------------------------------ #
-    def round_array(self, values) -> np.ndarray:
+    def round_array(self, values, out: Optional[np.ndarray] = None) -> np.ndarray:
         """Round an array of work-precision values to the nearest
         representable values of this format (returned in work precision).
 
+        Parameters
+        ----------
+        values:
+            Work-precision values (any shape).
+        out:
+            Optional pre-allocated work-dtype array of the same shape the
+            result is written into; ``out`` may alias ``values``, which is
+            how the contexts round operation results in place instead of
+            allocating a second array per elementary op.  Returned when
+            given.
+
         Dispatches by (format width, array size):
 
+        * tiny arrays (the solvers' elementwise Givens/QL regime) round
+          element-wise through the scalar paths — the lookup-table
+          ``bisect`` kernel or the format's pure-Python scalar kernel;
         * table-served formats (<= 16 bits) route through the lookup-table
-          engine whenever it prefers the size (always for tiny arrays, and
-          for every size unless the format keeps a cheaper analytic vector
-          kernel, like the 16-bit IEEE quantum rounding);
-        * wider formats with a scalar kernel route arrays of up to
-          :attr:`scalar_cutoff` elements through
-          :meth:`round_scalar_analytic` element by element;
+          engine whenever it prefers the size, unless the format marks
+          :attr:`prefer_bitkernel_rounding` (the 16-bit tapered formats,
+          whose 2^15-entry ``searchsorted`` loses to the integer kernel);
+        * formats with an integer bit kernel
+          (:mod:`repro.arithmetic.bitkernels`) route through it;
         * everything else falls through to the vectorised
           :meth:`round_array_analytic` ground truth.
         """
         table = self._rounding_table()
         values = np.asarray(values, dtype=self.work_dtype)
+        n = values.size
         if table is not None:
-            if table.prefers_rounding(values.size):
-                return table.round_values(values)
-        elif self.has_scalar_kernel and values.size <= self.scalar_cutoff:
-            return self._round_small_array(values)
-        return self.round_array_analytic(values)
+            if table.prefers_rounding(n) and not (
+                self.prefer_bitkernel_rounding
+                and n > SCALAR_CUTOFF
+                and self.bitkernel() is not None
+            ):
+                return table.round_values(values, out=out)
+            kern = self.bitkernel()
+        else:
+            kern = self.bitkernel()
+            if self.has_scalar_kernel and n <= (
+                self.scalar_cutoff if kern is None else self.bitkernel_scalar_cutoff
+            ):
+                return self._round_small_array(values, out=out)
+        if kern is not None:
+            return kern.round(values, out=out)
+        res = self.round_array_analytic(values)
+        if out is not None:
+            out[...] = res
+            return out
+        return res
 
-    def _round_small_array(self, values: np.ndarray) -> np.ndarray:
+    def _round_small_array(self, values: np.ndarray, out=None) -> np.ndarray:
         """Round a tiny array element-wise through the scalar kernel."""
-        out = np.empty(values.shape, dtype=self.work_dtype)
-        flat = out.ravel()
+        if out is None:
+            out = np.empty(values.shape, dtype=self.work_dtype)
+        flat = out.flat  # flatiter: assignment works for any memory layout
         kernel = self.round_scalar_analytic
         for i, v in enumerate(values.flat):
             flat[i] = kernel(v)

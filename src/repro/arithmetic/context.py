@@ -141,13 +141,18 @@ class ComputeContext(ABC):
     # primitives
     # ------------------------------------------------------------------ #
     @abstractmethod
-    def round(self, values):
+    def round(self, values, out=None):
         """Round work-precision values to the context's arithmetic.
 
         Array inputs return an ndarray of :attr:`dtype`; scalar and 0-d
         inputs return a work-dtype *scalar* (via :meth:`round_scalar`), so
         scalars never round-trip through ndarrays.  ``asarray`` inherits
         the same convention.
+
+        ``out`` is an optional pre-allocated array of :attr:`dtype` the
+        result is written into; it may alias ``values``.  The elementwise
+        operations exploit this to round their work-precision result in
+        place instead of allocating a second array per op.
         """
 
     def round_scalar(self, value):
@@ -295,40 +300,81 @@ class ComputeContext(ABC):
             )
         return self.round_scalar(np.sqrt(self.dtype(a)))
 
-    def add(self, a, b):
-        """Rounded elementwise ``a + b`` (scalars stay scalars)."""
+    # The array branches of the elementwise operations compute the
+    # work-precision result (one fresh ufunc output, or the caller's ``out``
+    # buffer) and round *into that same buffer* whenever the rounding
+    # backend can exploit it (:meth:`_round_work_inplace`): with the
+    # ``out=``-aware backends this halves the allocations of every rounded
+    # op, and a caller-provided ``out`` is honoured unconditionally.
+
+    def _round_work_inplace(self) -> bool:
+        """Whether the ops should hand their fresh work buffer to ``round``.
+
+        True when the vector rounding backend writes into ``out`` natively
+        (hardware casts, integer bit kernels); False when it would have to
+        append a full-array copy to honour ``out`` (table ``searchsorted``
+        and analytic vector kernels), where rounding into a fresh array is
+        strictly cheaper.  Purely a performance hint: an *explicit* caller
+        ``out=`` is always honoured regardless.
+        """
+        return True
+
+    def add(self, a, b, out=None):
+        """Rounded elementwise ``a + b`` (scalars stay scalars).
+
+        ``out`` (optional) receives the rounded result when the operands
+        form an *array* operation, and may alias an operand — the in-place
+        accumulation path of the operator API.  All-scalar operands return
+        a work-dtype scalar and leave ``out`` untouched (scalars never
+        round-trip through ndarrays).
+        """
         if _is_scalar(a) and _is_scalar(b):
             return self._scalar_add(a, b)
         self._tally(np.broadcast(a, b).size)
-        return self.round(np.add(a, b, dtype=self.dtype))
+        work = np.add(a, b, dtype=self.dtype, out=out)
+        if out is None and not self._round_work_inplace():
+            return self.round(work)
+        return self.round(work, out=work)
 
-    def sub(self, a, b):
+    def sub(self, a, b, out=None):
         """Rounded elementwise ``a - b`` (scalars stay scalars)."""
         if _is_scalar(a) and _is_scalar(b):
             return self._scalar_sub(a, b)
         self._tally(np.broadcast(a, b).size)
-        return self.round(np.subtract(a, b, dtype=self.dtype))
+        work = np.subtract(a, b, dtype=self.dtype, out=out)
+        if out is None and not self._round_work_inplace():
+            return self.round(work)
+        return self.round(work, out=work)
 
-    def mul(self, a, b):
+    def mul(self, a, b, out=None):
         """Rounded elementwise ``a * b`` (scalars stay scalars)."""
         if _is_scalar(a) and _is_scalar(b):
             return self._scalar_mul(a, b)
         self._tally(np.broadcast(a, b).size)
-        return self.round(np.multiply(a, b, dtype=self.dtype))
+        work = np.multiply(a, b, dtype=self.dtype, out=out)
+        if out is None and not self._round_work_inplace():
+            return self.round(work)
+        return self.round(work, out=work)
 
-    def div(self, a, b):
+    def div(self, a, b, out=None):
         """Rounded elementwise ``a / b`` (scalars stay scalars)."""
         if _is_scalar(a) and _is_scalar(b):
             return self._scalar_div(a, b)
         self._tally(np.broadcast(a, b).size)
-        return self.round(np.divide(a, b, dtype=self.dtype))
+        work = np.divide(a, b, dtype=self.dtype, out=out)
+        if out is None and not self._round_work_inplace():
+            return self.round(work)
+        return self.round(work, out=work)
 
-    def sqrt(self, a):
+    def sqrt(self, a, out=None):
         """Rounded elementwise square root (scalars stay scalars)."""
         if _is_scalar(a):
             return self._scalar_sqrt(a)
         self._tally(np.size(a))
-        return self.round(np.sqrt(np.asarray(a, dtype=self.dtype)))
+        work = np.sqrt(np.asarray(a, dtype=self.dtype), out=out)
+        if out is None and not self._round_work_inplace():
+            return self.round(work)
+        return self.round(work, out=work)
 
     def neg(self, a):
         """Exact negation (sign flips are exact in every supported format)."""
@@ -441,8 +487,15 @@ class ComputeContext(ABC):
         return self.sqrt(self.dot(x, x))
 
     def axpy(self, alpha, x, y):
-        """``y + alpha * x`` with per-operation rounding."""
-        return self.add(y, self.mul(alpha, x))
+        """``y + alpha * x`` with per-operation rounding.
+
+        The product buffer is reused as the sum's output, so the whole
+        update costs one allocation.
+        """
+        t = self.mul(alpha, x)
+        if isinstance(t, np.ndarray):
+            return self.add(y, t, out=t)
+        return self.add(y, t)
 
     def scale(self, alpha, x):
         """``alpha * x`` elementwise."""
@@ -584,12 +637,18 @@ class NativeContext(ComputeContext):
         self.name = name or np.dtype(dtype).name
         self.bits = np.dtype(dtype).itemsize * 8
 
-    def round(self, values):
+    def round(self, values, out=None):
         """Hardware dtypes round by conversion (a cast is the rounding);
-        scalar inputs return dtype scalars."""
+        scalar inputs return dtype scalars.  ``out`` receives the converted
+        values when given (no-op when it aliases an already-converted
+        ``values``)."""
         if _is_scalar(values):
             return self.dtype(values)
-        return np.asarray(values, dtype=self.dtype)
+        arr = np.asarray(values, dtype=self.dtype)
+        if out is not None and out is not arr:
+            out[...] = arr
+            return out
+        return arr
 
     def round_scalar(self, value):
         """Hardware dtypes round by conversion; returns a dtype scalar."""
@@ -660,18 +719,54 @@ class EmulatedContext(ComputeContext):
                     "cannot be served by the lookup-table engine"
                 )
         self._machine_epsilon: Optional[float] = None
+        self._inplace_rounding: Optional[bool] = None
 
-    def round(self, values):
+    def _round_work_inplace(self) -> bool:
+        """Whether this format's vector rounding writes into ``out`` natively.
+
+        True when the dispatch lands on an integer bit kernel at vector
+        sizes (posit/takum 16/32, non-cast IEEE); False when it lands on the
+        table ``searchsorted``/direct-index kernels (8-bit formats, forced
+        tables) or the analytic kernels (``use_tables=False``, 64-bit
+        tapered formats), which would pay a copy to honour ``out``.  Cached:
+        the answer only depends on the context configuration (a later
+        global engine toggle may stale it, which costs at most one copy per
+        op, never correctness).
+        """
+        flag = self._inplace_rounding
+        if flag is None:
+            fmt = self.format
+            table = fmt._rounding_table()
+            flag = (
+                self.use_tables is not False
+                and self._forced_table is None
+                and fmt.bitkernel() is not None
+                and (
+                    table is None
+                    or fmt.prefer_bitkernel_rounding
+                    or not table.semantics.prefer_table_rounding
+                )
+            )
+            self._inplace_rounding = flag
+        return flag
+
+    def round(self, values, out=None):
         """Round values to the format through the selected backend (scalar
-        inputs return work-dtype scalars via :meth:`round_scalar`)."""
+        inputs return work-dtype scalars via :meth:`round_scalar`).  ``out``
+        (optional, may alias ``values``) receives the rounded array — the
+        in-place path the elementwise operations use."""
         if _is_scalar(values):
             return self.round_scalar(values)
         values = np.asarray(values, dtype=self.dtype)
         if self.use_tables is False:
-            return self.format.round_array_analytic(values)
+            res = self.format.round_array_analytic(values)
+            if out is not None:
+                out[...] = res
+                return out
+            return res
         if self._forced_table is not None:
-            return self._forced_table.round_values(values)
-        return self.format.round_array(values)
+            return self._forced_table.round_values(values, out=out)
+        return self.format.round_array(values, out=out)
 
     def round_scalar(self, value):
         """Round one scalar to the format without an ndarray round-trip.

@@ -721,6 +721,50 @@ class FArray:
         return _wrap(self.ctx, self.ctx.abs(self.data))
 
     # ------------------------------------------------------------------ #
+    # in-place operators (allocation-free: the work-precision operation
+    # writes into this array's buffer and the rounding backend rounds it in
+    # place via the contexts' ``out=`` path — no temporary per update)
+    # ------------------------------------------------------------------ #
+    def _inplace_operand(self, other):
+        """Unwrap an operand for an in-place op (``None``: unsupported)."""
+        t = type(other)
+        if t is FArray or t is FScalar:
+            if other.ctx is not self.ctx:
+                _ctx_mismatch(self.ctx, other.ctx)
+            return other.data if t is FArray else other.value
+        if isinstance(other, _NUMBERS) or isinstance(other, np.ndarray):
+            return other
+        return None
+
+    def __iadd__(self, other):
+        od = self._inplace_operand(other)
+        if od is None:
+            return NotImplemented
+        self.ctx.add(self.data, od, out=self.data)
+        return self
+
+    def __isub__(self, other):
+        od = self._inplace_operand(other)
+        if od is None:
+            return NotImplemented
+        self.ctx.sub(self.data, od, out=self.data)
+        return self
+
+    def __imul__(self, other):
+        od = self._inplace_operand(other)
+        if od is None:
+            return NotImplemented
+        self.ctx.mul(self.data, od, out=self.data)
+        return self
+
+    def __itruediv__(self, other):
+        od = self._inplace_operand(other)
+        if od is None:
+            return NotImplemented
+        self.ctx.div(self.data, od, out=self.data)
+        return self
+
+    # ------------------------------------------------------------------ #
     # matrix products
     # ------------------------------------------------------------------ #
     def __matmul__(self, other):

@@ -18,6 +18,7 @@ import math
 import numpy as np
 
 from .base import NumberFormat, round_to_quantum
+from .bitkernels import IEEEBitKernel
 
 __all__ = ["IEEEFormat", "FLOAT16", "BFLOAT16", "FLOAT32", "FLOAT64"]
 
@@ -88,6 +89,17 @@ class IEEEFormat(NumberFormat):
         return sign * math.ldexp(
             (1 << self.mbits) + mant, exp_field - self.bias - self.mbits
         )
+
+    def _build_bitkernel(self):
+        """Integer bit-twiddling kernel for the non-cast widths.
+
+        float32/float64 round via a single hardware cast, which no integer
+        kernel can beat; every other width (float16, bfloat16, E5M2) gets
+        the LUT-driven RNE kernel with overflow and deep-subnormal binades
+        resolved through :meth:`round_array_analytic`."""
+        if self._cast_dtype is not None:
+            return None
+        return IEEEBitKernel(self.ebits, self.mbits, self.round_array_analytic)
 
     def table_semantics(self):
         """IEEE semantics for the shared lookup-table rounding engine.

@@ -22,6 +22,7 @@ import math
 import numpy as np
 
 from .base import SCALAR_CUTOFF, NumberFormat, nearest_in_table, nearest_in_table_scalar
+from .bitkernels import E4M3BitKernel
 from .ieee import IEEEFormat
 
 __all__ = ["OFP8E4M3", "OFP8E5M2", "E4M3", "E5M2"]
@@ -69,6 +70,13 @@ class OFP8E4M3(NumberFormat):
         order = np.argsort(np.asarray(mags))
         self._magnitudes = np.asarray(mags, dtype=np.float64)[order]
         self._codes = np.asarray(codes, dtype=np.int64)[order]
+
+    def _build_bitkernel(self):
+        """Integer bit-twiddling kernel; the top binade (overflow-to-NaN or
+        saturation policy) and deep subnormals resolve through
+        :meth:`round_array_analytic`, so both overflow variants share one
+        kernel construction."""
+        return E4M3BitKernel(self.round_array_analytic)
 
     def table_semantics(self):
         """E4M3 semantics for the shared lookup-table rounding engine."""

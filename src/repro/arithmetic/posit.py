@@ -31,8 +31,10 @@ from .base import (
     NumberFormat,
     nearest_in_table,
     nearest_in_table_scalar,
+    require_extended_longdouble,
     round_to_quantum,
 )
+from .bitkernels import PositBitKernel
 
 __all__ = ["PositFormat", "POSIT8", "POSIT16", "POSIT32", "POSIT64"]
 
@@ -61,6 +63,12 @@ class PositFormat(NumberFormat):
         self.es = int(es)
         self.name = name or f"posit{nbits}"
         self.work_dtype = np.float64 if nbits <= 32 else np.longdouble
+        if self.work_dtype is np.longdouble:
+            require_extended_longdouble(self.name)
+        # the 16-bit table kernel is a 2^15-entry searchsorted, which the
+        # integer bit kernel beats at vector sizes (8-bit posits keep the
+        # direct-indexed table, a single gather)
+        self.prefer_bitkernel_rounding = 8 < nbits <= 16
         self._useed_exp = 1 << self.es  # exponent scale per regime step
         max_k = self.bits - 2
         self._max_exp = self._useed_exp * max_k
@@ -116,6 +124,12 @@ class PositFormat(NumberFormat):
         significand = (1 << frac_bits) + frac
         value = np.ldexp(self.work_dtype(significand), int(scale - frac_bits))
         return self.work_dtype(sign) * value
+
+    def _build_bitkernel(self):
+        """Integer bit-twiddling kernel (float64-work widths only); the
+        extreme-regime binades resolve through :meth:`round_array_analytic`,
+        so the kernel is bit-identical to the analytic ground truth."""
+        return PositBitKernel(self.bits, self.es, self.round_array_analytic)
 
     def table_semantics(self):
         """Posit semantics for the shared lookup-table rounding engine."""

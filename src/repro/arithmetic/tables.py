@@ -196,13 +196,23 @@ class ValueTable:
         self.work_dtype = fmt.work_dtype
         self.semantics = semantics
 
-        # Full decode table over every code, built once from the format's
-        # bit-accurate scalar decoder (the single source of truth).
+        # Full decode table over every code.  The vectorised bit-kernel
+        # decoder builds it in a handful of integer passes; formats without
+        # one fall back to the per-code scalar decoder.  Either way the
+        # scalar ``decode_code`` stays the single source of truth: the bit
+        # decoders are verified against it code-for-code by the exhaustive
+        # sweeps in ``tests/test_bitkernels.py``.
         n_codes = 1 << self.bits
-        lut = np.empty(n_codes, dtype=np.float64)
-        decode_code = fmt.decode_code
-        for code in range(n_codes):
-            lut[code] = decode_code(code)
+        kern = fmt.bitkernel()
+        if kern is not None:
+            lut = np.asarray(
+                kern.decode(np.arange(n_codes, dtype=np.uint64)), dtype=np.float64
+            )
+        else:
+            lut = np.empty(n_codes, dtype=np.float64)
+            decode_code = fmt.decode_code
+            for code in range(n_codes):
+                lut[code] = decode_code(code)
         self.decode_lut = lut
 
         # Non-negative finite magnitudes all live in the sign-clear half of
@@ -404,19 +414,22 @@ class ValueTable:
     # ------------------------------------------------------------------ #
     # kernels
     # ------------------------------------------------------------------ #
-    def round_values(self, values) -> np.ndarray:
+    def round_values(self, values, out=None) -> np.ndarray:
         """Round work-precision values to the nearest representable values.
 
         Bit-identical to the format's ``round_array_analytic`` (verified by
-        the exhaustive sweeps in ``tests/test_tables.py``).
+        the exhaustive sweeps in ``tests/test_tables.py``).  ``out`` is an
+        optional same-shape work-dtype array the result is written into
+        (it may alias ``values``); returned when given.
         """
         sem = self.semantics
         x = np.asarray(values, dtype=self.work_dtype)
         if x.size <= SCALAR_CUTOFF:
             # tiny arrays (the solvers' scalar operations) skip the ~10
             # NumPy dispatch round-trips of the vector path
-            out = np.empty(x.shape, dtype=self.work_dtype)
-            flat = out.ravel()
+            if out is None:
+                out = np.empty(x.shape, dtype=self.work_dtype)
+            flat = out.flat  # flatiter: assignment works for any layout
             for i, v in enumerate(x.flat):
                 flat[i] = self.round_one(float(v))
             return out
@@ -434,6 +447,9 @@ class ValueTable:
             else:
                 res = np.where(inf_mask, np.nan, res)
             res = np.where(~finite & ~inf_mask, np.nan, res)
+        if out is not None:
+            out[...] = res
+            return out
         return res
 
     def encode_values(self, values) -> np.ndarray:

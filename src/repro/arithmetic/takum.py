@@ -32,8 +32,10 @@ from .base import (
     NumberFormat,
     nearest_in_table,
     nearest_in_table_scalar,
+    require_extended_longdouble,
     round_to_quantum,
 )
+from .bitkernels import TakumBitKernel
 
 __all__ = ["TakumFormat", "TAKUM8", "TAKUM16", "TAKUM32", "TAKUM64"]
 
@@ -65,6 +67,12 @@ class TakumFormat(NumberFormat):
         # near 1.0 a takum has up to n - 5 mantissa bits, which exceeds the
         # 52-bit float64 significand for the 64-bit format
         self.work_dtype = np.float64 if nbits <= 32 else np.longdouble
+        if self.work_dtype is np.longdouble:
+            require_extended_longdouble(self.name)
+        # the 16-bit table kernel is a 2^15-entry searchsorted, which the
+        # integer bit kernel beats at vector sizes (8-bit takums keep the
+        # direct-indexed table, a single gather)
+        self.prefer_bitkernel_rounding = 8 < nbits <= 16
         self._full_table = self.bits <= 16
         self._magnitudes: np.ndarray | None = None
         self._codes: np.ndarray | None = None
@@ -117,6 +125,13 @@ class TakumFormat(NumberFormat):
             return -np.ldexp(one, int(-c))
         significand = (1 << (p + 1)) - mantissa  # (2 - m) * 2^p
         return -np.ldexp(self.work_dtype(significand), int(-c - 1 - p))
+
+    def _build_bitkernel(self):
+        """Integer bit-twiddling kernel (float64-work widths only); the
+        characteristic-boundary and truncated-characteristic binades resolve
+        through :meth:`round_array_analytic`, so the kernel is bit-identical
+        to the analytic ground truth."""
+        return TakumBitKernel(self.bits, self.round_array_analytic)
 
     def table_semantics(self):
         """Takum semantics for the shared lookup-table rounding engine."""

@@ -20,6 +20,7 @@ import sys
 
 from ..arithmetic.registry import PAPER_FORMATS
 from ..datasets import get_suite
+from ..utils.parallel import default_workers
 from .config import ExperimentConfig
 from .figures import figure_csv_rows, figure_report, table1_report
 from .runner import run_experiment
@@ -32,18 +33,26 @@ __all__ = ["main", "build_parser"]
 #: verification runs and micro-benchmarks, not for day-to-day use)
 _EPILOG = """\
 rounding backends:
-  Emulated formats round through lookup tables (widths <= 16 bits) and
-  pure-Python scalar kernels (wider formats, tiny arrays); both are
-  bit-identical to the analytic vector kernels.  Opt-outs, from coarse to
-  fine:
+  Emulated formats round through lookup tables (8-bit widths), integer
+  bit-twiddling kernels (16/32-bit vector rounding) and pure-Python scalar
+  kernels (scalars and tiny arrays); all are bit-identical to the analytic
+  vector kernels.  Opt-outs, from coarse to fine:
     REPRO_DISABLE_ROUNDING_TABLES=1   environment: disable the table engine
                                       for the whole process
+    REPRO_DISABLE_BITKERNELS=1        environment: disable the integer
+                                      bit-twiddling kernels
     repro.arithmetic.set_tables_enabled(False)
+    repro.arithmetic.set_bitkernels_enabled(False)
                                       runtime: same, toggleable per phase
     get_context(name, use_tables=False)
                                       per context: force the analytic
                                       kernels (use_tables=True forces the
                                       tables even when globally disabled)
+
+parallelism:
+  REPRO_WORKERS sets the default worker count of --workers (the benchmark
+  harness honours it too); rounding tables are always warmed in the parent
+  before workers fork.
 """
 
 
@@ -101,7 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the per-context tally of rounded operations",
     )
-    parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default_workers(),
+        help="worker processes handed to parallel_map (each worker solves "
+        "whole matrices; the rounding tables are warmed before the fork so "
+        "workers inherit them copy-on-write).  Defaults to $REPRO_WORKERS "
+        "or 1; 0 uses all CPUs",
+    )
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument("--no-plots", action="store_true", help="omit the ASCII plots")
     parser.add_argument("--output", default=None, help="write per-run records to this CSV file")

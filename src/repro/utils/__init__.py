@@ -1,6 +1,6 @@
 """Small shared utilities: parallel execution and text rendering."""
 
-from .parallel import parallel_map
+from .parallel import default_workers, parallel_map
 from .textplot import ascii_plot, format_table
 
-__all__ = ["parallel_map", "ascii_plot", "format_table"]
+__all__ = ["default_workers", "parallel_map", "ascii_plot", "format_table"]

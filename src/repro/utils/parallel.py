@@ -9,9 +9,24 @@ callables.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["parallel_map"]
+__all__ = ["default_workers", "parallel_map"]
+
+
+def default_workers(fallback: int = 1) -> int:
+    """Worker-count default from ``$REPRO_WORKERS``.
+
+    Empty or non-numeric values fall back to ``fallback`` instead of
+    raising, so a stray ``REPRO_WORKERS=`` in a CI environment cannot break
+    every CLI invocation (including ``--help``).
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    try:
+        return int(raw) if raw else fallback
+    except ValueError:
+        return fallback
 
 
 def parallel_map(func: Callable, items: Sequence, workers: int = 1, chunksize: int = 1) -> list:

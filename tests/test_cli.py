@@ -58,6 +58,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--widths", "12"])
 
+    def test_workers_env_default(self, monkeypatch):
+        """$REPRO_WORKERS sets the --workers default; the flag overrides."""
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        args = build_parser().parse_args([])
+        assert args.workers == 3
+        args = build_parser().parse_args(["--workers", "2"])
+        assert args.workers == 2
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert build_parser().parse_args([]).workers == 1
+
+    def test_workers_env_garbage_falls_back(self, monkeypatch):
+        """An empty or non-numeric $REPRO_WORKERS must not break the CLI."""
+        for bad in ("", "  ", "auto"):
+            monkeypatch.setenv("REPRO_WORKERS", bad)
+            assert build_parser().parse_args([]).workers == 1
+
 
 class TestMain:
     def test_table1_mode(self, capsys):

@@ -135,6 +135,7 @@ class TestScalarKernelBitIdentity:
             any_kernel_format, tie_workload(any_kernel_format), " ties"
         )
 
+    @pytest.mark.extended_longdouble
     def test_extended_precision_inputs(self):
         """64-bit tapered formats must round longdouble-only values right."""
         for name in ("posit64", "takum64"):

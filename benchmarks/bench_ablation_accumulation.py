@@ -9,7 +9,7 @@ with both orders and reports how the error distributions shift.
 import numpy as np
 
 from repro.datasets import suitesparse_like
-from repro.experiments import ExperimentConfig, aggregate_by_format, run_experiment
+from repro.experiments import aggregate_by_format, run_experiment
 from repro.utils import format_table
 
 from .conftest import bench_config, bench_matrix_count, bench_size_range, write_report

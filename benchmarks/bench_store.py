@@ -1,0 +1,103 @@
+"""Experiment-store overhead benchmarks.
+
+The store must stay invisible next to the solves it caches: committing a
+record is one small JSON write-rename, planning a warm suite is a handful
+of stat+read calls per cell, and a fully warm ``run_experiment`` replay
+should complete in milliseconds (versus seconds for the cold solves).
+These benchmarks track all three so a store regression (fsync storms,
+accidental re-fingerprinting, payload bloat) shows up in the perf
+trajectory next to the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import suitesparse_like
+from repro.experiments import ExperimentConfig, ResultStore, plan_experiment, run_experiment
+from repro.experiments.runner import RunRecord
+from repro.experiments.store import run_record_to_payload, task_key
+
+FORMATS = ["float32", "takum16"]
+
+
+def _config() -> ExperimentConfig:
+    return ExperimentConfig(eigenvalue_count=4, eigenvalue_buffer_count=2, restarts=10)
+
+
+def _suite():
+    return suitesparse_like(count=3, size_range=(20, 26), seed=4)
+
+
+def test_store_commit_throughput(benchmark, tmp_path):
+    """Atomic put() throughput for realistic run-record payloads."""
+    store = ResultStore(tmp_path / "store")
+    record = RunRecord(
+        matrix="general/banded_geometric_0000",
+        group="general",
+        category="banded_geometric",
+        format="takum16",
+        status="ok",
+        eigenvalue_relative_error=1.2e-3,
+        eigenvector_relative_error=3.4e-2,
+        restarts=7,
+        matvecs=123,
+        solver_reason="converged",
+    )
+    keys = [f"{i:064x}" for i in range(256)]
+    payloads = {key: run_record_to_payload(record, key) for key in keys}
+
+    def commit_all():
+        for key in keys:
+            store.put(key, payloads[key])
+
+    benchmark.pedantic(commit_all, rounds=3, iterations=1)
+
+
+def test_store_warm_planning(benchmark, tmp_path):
+    """Plan + cache subtraction over a fully cached suite (no execution)."""
+    store = ResultStore(tmp_path / "store")
+    suite = _suite()
+    config = _config()
+    run_experiment(suite, FORMATS, config, store=store)
+
+    def plan_warm():
+        plan = plan_experiment(suite, FORMATS, config, store=store)
+        assert plan.tasks == [] and len(plan.cached_records) == len(suite) * len(FORMATS)
+        return plan
+
+    benchmark.pedantic(plan_warm, rounds=5, iterations=1)
+
+
+def test_store_warm_replay_end_to_end(benchmark, tmp_path):
+    """Fully warm run_experiment: zero solver tasks, assembly only."""
+    store = ResultStore(tmp_path / "store")
+    suite = _suite()
+    config = _config()
+    cold = run_experiment(suite, FORMATS, config, store=store)
+    assert cold.report.executed == cold.report.planned
+
+    def replay():
+        warm = run_experiment(suite, FORMATS, config, store=store)
+        assert warm.report.executed == 0
+        return warm
+
+    warm = benchmark.pedantic(replay, rounds=5, iterations=1)
+    errors = [r.eigenvalue_relative_error for r in warm.records if r.status == "ok"]
+    assert errors and np.all(np.isfinite(errors))
+
+
+def test_fingerprint_and_key_cost(benchmark):
+    """Per-matrix fingerprint + per-cell key derivation (the plan's fixed
+    cost even on a cold store)."""
+    suite = _suite()
+    config = _config()
+    from repro.experiments import matrix_fingerprint
+
+    def derive():
+        for tm in suite:
+            fingerprint = matrix_fingerprint(tm)
+            for name in FORMATS:
+                task_key(config, name, fingerprint)
+
+    benchmark.pedantic(derive, rounds=5, iterations=1)

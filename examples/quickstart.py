@@ -34,8 +34,6 @@ match)::
     E4M3       ok                 1.372e-01       1.323e+00
 """
 
-import numpy as np
-
 from repro import get_context, partialschur
 from repro.datasets import graph_suite
 from repro.experiments import match_eigenpairs, relative_l2_error, tolerance_for

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Cold/warm experiment-store round-trip gate (nightly CI).
+
+Runs a scaled-down Figure-1 pipeline through the experiment store twice in
+one process — cold (empty store) then warm — and asserts the resumable-store
+contract end to end:
+
+* the cold run executes every planned (matrix, format) cell;
+* the warm run executes **zero** cells (everything served from the store);
+* both runs produce byte-identical aggregated figure data;
+* the per-format run statuses match a checked-in reference
+  (``benchmarks/reference/fig1_store_roundtrip.json``), so silent
+  convergence drift — a solver or arithmetic change that flips cells
+  between ``ok``/``no_convergence``/``range_exceeded`` without failing any
+  unit test — fails the gate instead of quietly skewing the figures.
+
+Regenerate the reference after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python scripts/store_roundtrip.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments.cli import main as cli_main  # noqa: E402
+
+DEFAULT_REFERENCE = ROOT / "benchmarks" / "reference" / "fig1_store_roundtrip.json"
+
+#: the scaled-down Figure-1 workload of the gate; small enough for a CI
+#: minute, large enough that every 8/16/32-bit format family contributes
+WORKLOAD = [
+    "--suite",
+    "general",
+    "--widths",
+    "8",
+    "16",
+    "32",
+    "--matrices",
+    "3",
+    "--min-size",
+    "20",
+    "--max-size",
+    "28",
+    "--restarts",
+    "15",
+    "--no-plots",
+]
+
+
+def run_once(store_dir: str, tag: str, out_dir: pathlib.Path) -> tuple[dict, bytes]:
+    """One CLI invocation against ``store_dir``; returns (report, figure bytes)."""
+    report_path = out_dir / f"report-{tag}.json"
+    figure_path = out_dir / f"figure-{tag}.json"
+    argv = WORKLOAD + [
+        "--store",
+        store_dir,
+        "--report-json",
+        str(report_path),
+        "--figure-json",
+        str(figure_path),
+    ]
+    code = cli_main(argv)
+    if code != 0:
+        raise SystemExit(f"{tag} run exited with {code}")
+    with open(report_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    return report, figure_path.read_bytes()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reference",
+        type=pathlib.Path,
+        default=DEFAULT_REFERENCE,
+        help="checked-in per-format status reference JSON",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="regenerate the reference from this run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-roundtrip-") as workdir:
+        out_dir = pathlib.Path(workdir)
+        store_dir = str(out_dir / "store")
+
+        cold, cold_figure = run_once(store_dir, "cold", out_dir)
+        if cold["cached"] != 0:
+            failures.append(f"cold run started from a non-empty store: {cold['cached']} cached")
+        if cold["executed"] != cold["planned"]:
+            failures.append(
+                f"cold run executed {cold['executed']} of {cold['planned']} planned cells"
+            )
+        if cold["failed"] != 0:
+            failures.append(f"cold run had {cold['failed']} crashed worker tasks")
+
+        warm, warm_figure = run_once(store_dir, "warm", out_dir)
+        if warm["executed"] != 0:
+            failures.append(f"warm run executed {warm['executed']} tasks (expected 0)")
+        if warm["cached"] != warm["planned"]:
+            failures.append(
+                f"warm run served {warm['cached']} of {warm['planned']} cells from the store"
+            )
+        if cold_figure != warm_figure:
+            failures.append("aggregated figure data differs between cold and warm runs")
+
+        statuses = warm["statuses_by_format"]
+        if args.update:
+            args.reference.parent.mkdir(parents=True, exist_ok=True)
+            with open(args.reference, "w", encoding="utf-8") as handle:
+                json.dump({"statuses_by_format": statuses}, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"reference updated: {args.reference}")
+        else:
+            with open(args.reference, "r", encoding="utf-8") as handle:
+                reference = json.load(handle)["statuses_by_format"]
+            if statuses != reference:
+                failures.append(
+                    "per-format run statuses drifted from the reference:\n"
+                    f"  expected: {json.dumps(reference, sort_keys=True)}\n"
+                    f"  observed: {json.dumps(statuses, sort_keys=True)}"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "store round-trip OK: cold run computed everything, warm run executed "
+        "zero tasks, figure data byte-identical, statuses match the reference"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -736,33 +736,40 @@ class FArray:
             return other
         return None
 
+    def _inplace(self, op, od):
+        if self.data.ndim == 0:
+            # the contexts' all-scalar branch treats a 0-d buffer as a
+            # scalar operand, returns the rounded scalar and ignores
+            # ``out`` — write the result back explicitly instead of
+            # silently dropping the update
+            self.data[...] = op(self.data, od)
+        else:
+            op(self.data, od, out=self.data)
+        return self
+
     def __iadd__(self, other):
         od = self._inplace_operand(other)
         if od is None:
             return NotImplemented
-        self.ctx.add(self.data, od, out=self.data)
-        return self
+        return self._inplace(self.ctx.add, od)
 
     def __isub__(self, other):
         od = self._inplace_operand(other)
         if od is None:
             return NotImplemented
-        self.ctx.sub(self.data, od, out=self.data)
-        return self
+        return self._inplace(self.ctx.sub, od)
 
     def __imul__(self, other):
         od = self._inplace_operand(other)
         if od is None:
             return NotImplemented
-        self.ctx.mul(self.data, od, out=self.data)
-        return self
+        return self._inplace(self.ctx.mul, od)
 
     def __itruediv__(self, other):
         od = self._inplace_operand(other)
         if od is None:
             return NotImplemented
-        self.ctx.div(self.data, od, out=self.data)
-        return self
+        return self._inplace(self.ctx.div, od)
 
     # ------------------------------------------------------------------ #
     # matrix products

@@ -72,6 +72,47 @@ class PartialSchurResult:
         """Number of returned Ritz pairs."""
         return int(self.eigenvalues.shape[0])
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable view (arrays converted to float64 lists).
+
+        Work-dtype arrays (e.g. ``longdouble`` reference solves) are
+        narrowed to float64 — the same representation every reporting path
+        uses — so the round-trip through :meth:`from_dict` reproduces the
+        reported result exactly, not the internal work precision.
+        """
+        return {
+            "eigenvalues": self.eigenvalues_float64().tolist(),
+            "eigenvectors": self.eigenvectors_float64().tolist(),
+            "residuals": np.asarray(self.residuals, dtype=np.float64).tolist(),
+            "converged": bool(self.converged),
+            "nconverged": int(self.nconverged),
+            "restarts": int(self.restarts),
+            "matvecs": int(self.matvecs),
+            "reason": self.reason,
+            "which": self.which,
+            "tolerance": float(self.tolerance),
+            "format_name": self.format_name,
+            "history": list(self.history) if self.history is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PartialSchurResult":
+        """Inverse of :meth:`to_dict` (float64 arrays, extra keys ignored)."""
+        return cls(
+            eigenvalues=np.asarray(payload["eigenvalues"], dtype=np.float64),
+            eigenvectors=np.asarray(payload["eigenvectors"], dtype=np.float64),
+            residuals=np.asarray(payload["residuals"], dtype=np.float64),
+            converged=bool(payload["converged"]),
+            nconverged=int(payload["nconverged"]),
+            restarts=int(payload["restarts"]),
+            matvecs=int(payload["matvecs"]),
+            reason=payload["reason"],
+            which=payload["which"],
+            tolerance=float(payload["tolerance"]),
+            format_name=payload["format_name"],
+            history=payload.get("history"),
+        )
+
     def eigenvalues_float64(self) -> np.ndarray:
         """Eigenvalues converted to float64 (for reporting)."""
         return np.asarray(self.eigenvalues, dtype=np.float64)

@@ -33,13 +33,27 @@ from .aggregate import (
     cumulative_distribution,
     aggregate_by_format,
     figure_series,
+    statuses_by_format,
     FormatSummary,
 )
 from .figures import (
     figure_report,
     figure_csv_rows,
+    figure_json,
     table1_report,
     render_figure,
+)
+from .store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    ExperimentPlan,
+    ExecutionReport,
+    default_store_root,
+    matrix_fingerprint,
+    task_key,
+    reference_key,
+    plan_experiment,
+    execute_plan,
 )
 
 __all__ = [
@@ -62,9 +76,21 @@ __all__ = [
     "cumulative_distribution",
     "aggregate_by_format",
     "figure_series",
+    "statuses_by_format",
     "FormatSummary",
     "figure_report",
     "figure_csv_rows",
+    "figure_json",
     "table1_report",
     "render_figure",
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "ExperimentPlan",
+    "ExecutionReport",
+    "default_store_root",
+    "matrix_fingerprint",
+    "task_key",
+    "reference_key",
+    "plan_experiment",
+    "execute_plan",
 ]

@@ -22,6 +22,7 @@ __all__ = [
     "FormatSummary",
     "aggregate_by_format",
     "figure_series",
+    "statuses_by_format",
 ]
 
 
@@ -51,11 +52,18 @@ class FormatSummary:
     eigenvector_percentiles: dict[int, float]
     eigenvalue_median_log10: float
     eigenvector_median_log10: float
+    #: crashed worker tasks (infrastructure failures, not scientific outcomes)
+    failed: int = 0
 
     @property
     def failure_fraction(self) -> float:
-        """Fraction of runs ending in ∞ω or ∞σ."""
-        denom = self.total_runs - self.reference_failed
+        """Fraction of runs ending in ∞ω or ∞σ.
+
+        Crashed worker tasks (``"failed"``) and reference failures are
+        excluded from the denominator: neither says anything about the
+        format under test.
+        """
+        denom = self.total_runs - self.reference_failed - self.failed
         if denom <= 0:
             return 0.0
         return (self.no_convergence + self.range_exceeded) / denom
@@ -66,6 +74,11 @@ def _percentiles(values: Sequence[float], levels=(10, 25, 50, 75, 90)) -> dict[i
     if finite.size == 0:
         return {level: float("nan") for level in levels}
     return {level: float(np.percentile(finite, level)) for level in levels}
+
+
+def _median_log10(percentiles: dict[int, float]) -> float:
+    p50 = percentiles[50]
+    return math.log10(p50) if np.isfinite(p50) and p50 > 0 else float("nan")
 
 
 def aggregate_by_format(records: Iterable[RunRecord]) -> dict[str, FormatSummary]:
@@ -87,14 +100,11 @@ def aggregate_by_format(records: Iterable[RunRecord]) -> dict[str, FormatSummary
             no_convergence=sum(1 for r in recs if r.status == "no_convergence"),
             range_exceeded=sum(1 for r in recs if r.status == "range_exceeded"),
             reference_failed=sum(1 for r in recs if r.status == "reference_failed"),
+            failed=sum(1 for r in recs if r.status == "failed"),
             eigenvalue_percentiles=ev_pct,
             eigenvector_percentiles=vec_pct,
-            eigenvalue_median_log10=(
-                math.log10(ev_pct[50]) if np.isfinite(ev_pct[50]) and ev_pct[50] > 0 else float("nan")
-            ),
-            eigenvector_median_log10=(
-                math.log10(vec_pct[50]) if np.isfinite(vec_pct[50]) and vec_pct[50] > 0 else float("nan")
-            ),
+            eigenvalue_median_log10=_median_log10(ev_pct),
+            eigenvector_median_log10=_median_log10(vec_pct),
         )
     return summaries
 
@@ -112,9 +122,22 @@ def figure_series(
     attribute = f"{metric}_relative_error"
     by_format: dict[str, list[float]] = {}
     for record in records:
-        if record.status == "reference_failed":
+        if record.status in ("reference_failed", "failed"):
+            # neither a reference failure nor a crashed worker task says
+            # anything about the format: keep both out of the distributions
             continue
         by_format.setdefault(record.format, [])
         if record.evaluated:
             by_format[record.format].append(getattr(record, attribute))
     return {name: cumulative_distribution(errors) for name, errors in by_format.items()}
+
+
+def statuses_by_format(records: Iterable[RunRecord]) -> dict[str, dict[str, int]]:
+    """Per-format status counts, in deterministic (first-seen, sorted-status)
+    order — the convergence signature the nightly store-roundtrip CI job
+    compares against its checked-in reference."""
+    counts: dict[str, dict[str, int]] = {}
+    for record in records:
+        counts.setdefault(record.format, {})
+        counts[record.format][record.status] = counts[record.format].get(record.status, 0) + 1
+    return {name: dict(sorted(statuses.items())) for name, statuses in counts.items()}

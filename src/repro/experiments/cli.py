@@ -10,22 +10,36 @@ the requested bit widths, prints the figure report (percentile table + ASCII
 cumulative error distributions) and optionally writes the raw per-run records
 as CSV.  The defaults are a scaled-down laptop workload; raising
 ``--matrices``/``--scale`` approaches the paper's population sizes.
+
+Every run goes through the resumable experiment store
+(:mod:`repro.experiments.store`): finished (matrix, format) cells are
+committed to ``--store`` (default ``$REPRO_STORE`` or
+``~/.cache/repro-store``) as they land, cached cells are never recomputed,
+and an interrupted invocation resumes where it stopped.  The store itself is
+managed with the ``store`` subcommand::
+
+    python -m repro.experiments.cli store ls
+    python -m repro.experiments.cli store gc
+    python -m repro.experiments.cli store clear --yes
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 
 from ..arithmetic.registry import PAPER_FORMATS
 from ..datasets import get_suite
 from ..utils.parallel import default_workers
+from .aggregate import statuses_by_format
 from .config import ExperimentConfig
-from .figures import figure_csv_rows, figure_report, table1_report
+from .figures import figure_csv_rows, figure_json, figure_report, table1_report
 from .runner import run_experiment
+from .store import ResultStore
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_store_parser"]
 
 
 #: --help epilog surfacing the rounding-backend opt-out hierarchy (the
@@ -53,6 +67,15 @@ parallelism:
   REPRO_WORKERS sets the default worker count of --workers (the benchmark
   harness honours it too); rounding tables are always warmed in the parent
   before workers fork.
+
+experiment store:
+  Finished (matrix, format) cells are committed to the store as they land
+  and reused by later invocations with the same configuration, so reruns
+  and interrupted runs only execute what is missing.  REPRO_STORE sets the
+  default --store directory (fallback: $XDG_CACHE_HOME/repro-store or
+  ~/.cache/repro-store); --no-cache recomputes everything (still
+  refreshing the store); --rerun-failed retries cells whose worker
+  crashed.  Inspect with the 'store' subcommand: store ls | gc | clear.
 """
 
 
@@ -64,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     argparse.ArgumentParser
         Parser for the module-form invocation
         (``python -m repro.experiments.cli``); see ``--help`` for the
-        rounding-backend opt-out hierarchy.
+        rounding-backend opt-out hierarchy and the experiment-store flags.
     """
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
@@ -120,21 +143,116 @@ def build_parser() -> argparse.ArgumentParser:
         "or 1; 0 uses all CPUs",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="experiment-store directory (default: $REPRO_STORE, else "
+        "~/.cache/repro-store); finished cells are committed here and "
+        "reused by later runs",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore cached cells (recompute everything; fresh results "
+        "still refresh the store)",
+    )
+    parser.add_argument(
+        "--rerun-failed",
+        action="store_true",
+        help="retry cached cells whose worker crashed ('failed' status)",
+    )
+    parser.add_argument(
+        "--report-json",
+        default=None,
+        metavar="FILE",
+        help="write the execution report (planned/cached/executed cell "
+        "counts + per-format run statuses) as JSON",
+    )
+    parser.add_argument(
+        "--figure-json",
+        default=None,
+        metavar="FILE",
+        help="write the aggregated figure data (status counts, percentiles, "
+        "cumulative-distribution series) as deterministic JSON",
+    )
     parser.add_argument("--no-plots", action="store_true", help="omit the ASCII plots")
     parser.add_argument("--output", default=None, help="write per-run records to this CSV file")
     return parser
 
 
-def _build_suite(args):
-    size_range = (args.min_size, args.max_size)
-    if args.suite == "general":
-        return get_suite("general", count=args.matrices, size_range=size_range, seed=args.seed)
-    suite = get_suite(args.suite, scale=args.scale, size_range=size_range, seed=args.seed)
-    return suite[: args.matrices]
+def build_store_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``store`` maintenance subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment store",
+        description="Inspect and maintain the on-disk experiment store.",
+    )
+    parser.add_argument(
+        "command",
+        choices=["ls", "gc", "clear"],
+        help="ls: summarise entries; gc: drop stale-schema/corrupt entries "
+        "and staging leftovers; clear: drop everything",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="store directory (default: $REPRO_STORE, else ~/.cache/repro-store)",
+    )
+    parser.add_argument(
+        "--keys",
+        action="store_true",
+        help="with 'ls': also print every cache key",
+    )
+    parser.add_argument(
+        "--yes",
+        action="store_true",
+        help="with 'clear': do not ask for confirmation",
+    )
+    return parser
+
+
+def store_main(argv) -> int:
+    """Entry point of ``python -m repro.experiments.cli store ...``."""
+    args = build_store_parser().parse_args(argv)
+    store = ResultStore.from_environment(args.store)
+    if args.command == "ls":
+        stats = store.stats()
+        print(f"store: {stats['root']}")
+        print(f"entries: {stats['entries']} ({stats['bytes']} bytes)")
+        for kind, count in sorted(stats["kinds"].items()):
+            print(f"  kind {kind}: {count}")
+        for status, count in sorted(stats["run_statuses"].items()):
+            print(f"  status {status}: {count}")
+        for name, count in sorted(stats["run_formats"].items()):
+            print(f"  format {name}: {count}")
+        if args.keys:
+            for key in store.keys():
+                print(key)
+        return 0
+    if args.command == "gc":
+        removed = store.gc()
+        print(f"removed {removed} stale entries from {store.root}")
+        return 0
+    # clear
+    if not args.yes:
+        try:
+            reply = input(f"remove ALL entries under {store.root}? [y/N] ")
+        except EOFError:  # non-interactive stdin (CI, cron): treat as "no"
+            reply = ""
+        if reply.strip().lower() not in ("y", "yes"):
+            print("aborted", file=sys.stderr)
+            return 1
+    removed = store.clear()
+    print(f"removed {removed} entries from {store.root}")
+    return 0
 
 
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["store"]:
+        return store_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.suite == "table1":
         print(table1_report(scale=args.scale))
@@ -153,12 +271,27 @@ def main(argv=None) -> int:
         use_tables=False if args.no_tables else None,
         count_ops=not args.no_op_count,
     )
+    store = ResultStore.from_environment(args.store)
     print(
         f"running suite {args.suite!r}: {len(suite)} matrices x {len(formats)} formats "
-        f"(restarts={args.restarts}, workers={args.workers})",
+        f"(restarts={args.restarts}, workers={args.workers}, store={store.root})",
         file=sys.stderr,
     )
-    result = run_experiment(suite, formats, config, workers=args.workers)
+    result = run_experiment(
+        suite,
+        formats,
+        config,
+        workers=args.workers,
+        store=store,
+        use_cache=not args.no_cache,
+        rerun_failed=args.rerun_failed,
+    )
+    report = result.report
+    print(
+        f"store: {report.cached}/{report.planned} cells cached, "
+        f"{report.executed} executed ({report.failed} failed)",
+        file=sys.stderr,
+    )
     print(
         figure_report(
             result.records,
@@ -167,6 +300,24 @@ def main(argv=None) -> int:
             plots=not args.no_plots,
         )
     )
+    if args.report_json:
+        payload = report.to_dict()
+        payload["store"] = str(store.root)
+        payload["statuses_by_format"] = statuses_by_format(result.records)
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote execution report to {args.report_json}", file=sys.stderr)
+    if args.figure_json:
+        with open(args.figure_json, "w", encoding="utf-8") as handle:
+            json.dump(
+                figure_json(result.records, widths=tuple(args.widths)),
+                handle,
+                sort_keys=True,
+                allow_nan=False,
+            )
+            handle.write("\n")
+        print(f"wrote figure data to {args.figure_json}", file=sys.stderr)
     if args.output:
         rows = figure_csv_rows(result.records)
         with open(args.output, "w", newline="", encoding="utf-8") as handle:
@@ -174,7 +325,26 @@ def main(argv=None) -> int:
             writer.writeheader()
             writer.writerows(rows)
         print(f"wrote {len(rows)} records to {args.output}", file=sys.stderr)
+    # crashed worker cells no longer abort the run (sibling results are
+    # kept and committed), but they must not read as success either: all
+    # reports above are written, then the partial result is flagged
+    failed_cells = sum(1 for r in result.records if r.status == "failed")
+    if failed_cells or report.failed:
+        print(
+            f"ERROR: {failed_cells or report.failed} cell(s) carry crashed-worker "
+            "results (status 'failed'); rerun with --rerun-failed to retry them",
+            file=sys.stderr,
+        )
+        return 2
     return 0
+
+
+def _build_suite(args):
+    size_range = (args.min_size, args.max_size)
+    if args.suite == "general":
+        return get_suite("general", count=args.matrices, size_range=size_range, seed=args.seed)
+    suite = get_suite(args.suite, scale=args.scale, size_range=size_range, seed=args.seed)
+    return suite[: args.matrices]
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests

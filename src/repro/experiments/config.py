@@ -77,6 +77,18 @@ class ExperimentConfig:
             count_ops=self.count_ops,
         )
 
+    def canonical_dict(self) -> dict:
+        """Stable, JSON-serialisable view of every field, for cache keys.
+
+        The experiment store hashes this dict (sorted keys, canonical JSON)
+        into each task's cache key, so *any* field change — solver budget,
+        accumulation order, rounding backend, tolerance — moves the task to
+        a fresh key and invalidates the cached result.  Field order is
+        irrelevant; only names and values enter the hash.
+        """
+        raw = dataclasses.asdict(self)
+        return {name: raw[name] for name in sorted(raw)}
+
     @classmethod
     def from_environment(cls, **overrides) -> "ExperimentConfig":
         """Build a config honouring ``REPRO_*`` environment overrides.

@@ -23,6 +23,7 @@ __all__ = [
     "figure_report",
     "render_figure",
     "figure_csv_rows",
+    "figure_json",
     "table1_report",
 ]
 
@@ -72,6 +73,7 @@ def figure_report(
                     s.evaluated,
                     s.no_convergence,
                     s.range_exceeded,
+                    s.failed,
                     _fmt_log(s.eigenvalue_percentiles[25]),
                     _fmt_log(s.eigenvalue_percentiles[50]),
                     _fmt_log(s.eigenvalue_percentiles[75]),
@@ -86,6 +88,7 @@ def figure_report(
                     "ok",
                     "inf_omega",
                     "inf_sigma",
+                    "failed",
                     "lam p25",
                     "lam p50",
                     "lam p75",
@@ -131,6 +134,67 @@ def figure_csv_rows(records: Sequence[RunRecord]) -> list[dict]:
             }
         )
     return rows
+
+
+def _finite_or_none(value: float):
+    """Non-finite floats become ``None`` so the export is strict RFC JSON
+    (``json.dumps`` would otherwise emit bare ``NaN``/``Infinity`` tokens
+    that ``jq``/JavaScript cannot parse)."""
+    import math
+
+    return value if value is not None and math.isfinite(value) else None
+
+
+def figure_json(records: Sequence[RunRecord], widths: Sequence[int] = (8, 16, 32, 64)) -> dict:
+    """Aggregated figure data as a deterministic JSON-serialisable dict.
+
+    The same information as :func:`figure_report` — per-width, per-format
+    status counts, error percentiles and the cumulative-distribution series
+    of both panels — but machine-readable and with a stable layout: records
+    assembled in suite × formats order (as the store engine guarantees)
+    yield byte-identical ``json.dumps(..., sort_keys=True)`` output, whether
+    the runs were computed or served from the experiment store.  The nightly
+    CI store-roundtrip job relies on exactly that property.  Non-finite
+    values (percentiles of formats with no evaluated runs, ``log10`` of an
+    exact-zero error) are exported as ``null`` to stay valid strict JSON.
+    """
+    data: dict = {"widths": {}}
+    for width in widths:
+        width_records = _records_for_width(records, width)
+        if not width_records:
+            continue
+        summaries = aggregate_by_format(width_records)
+        formats: dict = {}
+        for name in PAPER_FORMATS[width]:
+            if name not in summaries:
+                continue
+            s = summaries[name]
+            formats[name] = {
+                "runs": s.total_runs,
+                "ok": s.evaluated,
+                "no_convergence": s.no_convergence,
+                "range_exceeded": s.range_exceeded,
+                "reference_failed": s.reference_failed,
+                "failed": s.failed,
+                "eigenvalue_percentiles": {
+                    str(k): _finite_or_none(v) for k, v in s.eigenvalue_percentiles.items()
+                },
+                "eigenvector_percentiles": {
+                    str(k): _finite_or_none(v) for k, v in s.eigenvector_percentiles.items()
+                },
+            }
+        data["widths"][str(width)] = {
+            "formats": formats,
+            "eigenvalue_series": {
+                name: [[p, _finite_or_none(e)] for p, e in points]
+                for name, points in figure_series(width_records, "eigenvalue").items()
+            },
+            "eigenvector_series": {
+                name: [[p, _finite_or_none(e)] for p, e in points]
+                for name, points in figure_series(width_records, "eigenvector").items()
+            },
+        }
+    return data
 
 
 def table1_report(scale: float | None = None) -> str:

@@ -10,7 +10,7 @@ figures.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -18,11 +18,13 @@ from ..arithmetic.context import get_context
 from ..arithmetic.registry import preload_tables
 from ..core.krylov_schur import partialschur
 from ..datasets.testmatrix import TestMatrix
-from ..utils.parallel import parallel_map
 from .config import ExperimentConfig
 from .errors import ErrorMetrics, error_metrics
 from .matching import match_eigenpairs
 from .tolerances import tolerance_for
+
+if TYPE_CHECKING:  # avoid the runtime cycle: store.py imports this module
+    from .store import ExecutionReport, ResultStore
 
 __all__ = [
     "RunRecord",
@@ -33,8 +35,10 @@ __all__ = [
     "run_experiment",
 ]
 
-#: status values a run can end with (the last two are the paper's ∞ markers)
-RUN_STATUSES = ("ok", "reference_failed", "no_convergence", "range_exceeded")
+#: status values a run can end with ("no_convergence"/"range_exceeded" are
+#: the paper's ∞ markers; "failed" marks a crashed worker task, which is an
+#: infrastructure failure rather than a scientific outcome)
+RUN_STATUSES = ("ok", "reference_failed", "no_convergence", "range_exceeded", "failed")
 
 
 @dataclasses.dataclass
@@ -56,6 +60,9 @@ class RunRecord:
     paper's ∞ω marker, ``"range_exceeded"`` for ∞σ and
     ``"reference_failed"`` when the reference solve itself did not converge
     (those matrices are excluded from the distributions, as in MuFoLAB).
+    A crashed worker task yields ``"failed"`` with the worker traceback in
+    ``traceback`` — sibling results survive, and ``rerun_failed`` retries
+    exactly these cells.
     """
 
     matrix: str
@@ -70,6 +77,7 @@ class RunRecord:
     restarts: int = 0
     matvecs: int = 0
     solver_reason: str = ""
+    traceback: str = ""
 
     @property
     def evaluated(self) -> bool:
@@ -88,11 +96,17 @@ class MatrixExperiment:
 
 @dataclasses.dataclass
 class ExperimentResult:
-    """Flat collection of run records for a whole suite."""
+    """Flat collection of run records for a whole suite.
+
+    ``report`` (when the run went through the experiment store engine)
+    records how much of the suite was served from cache versus executed —
+    see :class:`repro.experiments.store.ExecutionReport`.
+    """
 
     records: list[RunRecord]
     references: list[ReferenceRecord]
     config: ExperimentConfig
+    report: Optional["ExecutionReport"] = None
 
     def by_format(self, format_name: str) -> list[RunRecord]:
         return [r for r in self.records if r.format == format_name]
@@ -192,9 +206,7 @@ def run_matrix_experiment(
             record.status = "no_convergence"
             runs.append(record)
             continue
-        metrics: ErrorMetrics = error_metrics(
-            ref_vals[:keep], ref_vecs[:, :keep], vals, vecs
-        )
+        metrics: ErrorMetrics = error_metrics(ref_vals[:keep], ref_vecs[:, :keep], vals, vecs)
         if not metrics.finite:
             record.status = "no_convergence"
             runs.append(record)
@@ -208,26 +220,22 @@ def run_matrix_experiment(
     return MatrixExperiment(matrix=test_matrix.name, reference=reference_record, runs=runs)
 
 
-@dataclasses.dataclass
-class _Task:
-    """Picklable work item for the parallel runner."""
-
-    test_matrix: TestMatrix
-    formats: tuple[str, ...]
-    config: ExperimentConfig
-
-
-def _run_task(task: _Task) -> MatrixExperiment:
-    return run_matrix_experiment(task.test_matrix, task.formats, task.config)
-
-
 def run_experiment(
     suite: Iterable[TestMatrix],
     formats: Sequence[str],
     config: Optional[ExperimentConfig] = None,
     workers: int = 1,
+    store: Optional["ResultStore"] = None,
+    use_cache: bool = True,
+    rerun_failed: bool = False,
 ) -> ExperimentResult:
     """Run the experiment pipeline over a suite of matrices.
+
+    The execution is *resumable*: with a ``store``, every finished
+    (matrix, format) cell is committed to disk as it lands, cached cells are
+    subtracted from the plan before any solver starts, and a crashed worker
+    task yields a ``"failed"`` record instead of discarding its siblings.
+    See :mod:`repro.experiments.store` for the plan/execute engine.
 
     Parameters
     ----------
@@ -240,21 +248,36 @@ def run_experiment(
         Experiment configuration; defaults mirror the paper.
     workers:
         Worker processes; each worker handles whole matrices (reference solve
-        plus all formats) so reference solutions are never recomputed.
+        plus all missing formats) so reference solutions are never recomputed
+        within one run.
+    store:
+        A :class:`~repro.experiments.store.ResultStore` for caching and
+        resume; ``None`` (default) runs fully in memory, exactly like the
+        historical fire-and-forget pipeline.
+    use_cache:
+        With ``False`` cached cells are ignored (everything executes) but
+        fresh results are still committed, refreshing the store.
+    rerun_failed:
+        Treat cached ``"failed"`` cells (crashed workers) as missing and
+        retry them.
     """
+    from .store import execute_plan, plan_experiment  # local: store imports us
+
     config = config or ExperimentConfig()
+    plan = plan_experiment(
+        suite,
+        formats,
+        config,
+        store=store,
+        use_cache=use_cache,
+        rerun_failed=rerun_failed,
+    )
     # Build the lookup-table rounding engine once in this process: forked
     # workers inherit the tables copy-on-write instead of re-enumerating the
     # value sets per worker, and the serial path pays the build exactly once.
     # Analytic-kernel verification runs (use_tables=False) never consult the
-    # engine, so skip the build entirely there.
-    if config.use_tables is not False:
+    # engine, and a fully cached (warm) plan executes no solver at all, so
+    # skip the build there.
+    if plan.tasks and config.use_tables is not False:
         preload_tables(formats)
-    tasks = [_Task(tm, tuple(formats), config) for tm in suite]
-    experiments = parallel_map(_run_task, tasks, workers=workers)
-    records: list[RunRecord] = []
-    references: list[ReferenceRecord] = []
-    for experiment in experiments:
-        references.append(experiment.reference)
-        records.extend(experiment.runs)
-    return ExperimentResult(records=records, references=references, config=config)
+    return execute_plan(plan, workers=workers)

@@ -113,41 +113,41 @@ def tridiagonal_eigen(ctx, d, e, Z=None, max_sweeps: int = 60):
     Z = ctx.wrap(Z_full)
     eps_f = float(ctx.machine_epsilon)  # deflation threshold, reused below
 
-    for l in range(n):
+    for low in range(n):
         sweeps = 0
         while True:
             if not (d.all_finite() and e.all_finite()):
                 raise EigenConvergenceError(
                     "non-finite values during QL iteration"
                 )
-            m = l
+            m = low
             while m < n - 1:
                 dd = abs(float(d_full[m])) + abs(float(d_full[m + 1]))
                 if abs(float(e_full[m])) <= eps_f * dd:
                     break
                 m += 1
-            if m == l:
+            if m == low:
                 break
             sweeps += 1
             if sweeps > max_sweeps:
                 raise EigenConvergenceError(
-                    f"QL iteration did not deflate eigenvalue {l} within "
+                    f"QL iteration did not deflate eigenvalue {low} within "
                     f"{max_sweeps} sweeps in {ctx.name}"
                 )
             # Wilkinson-like shift
-            g = (d[l + 1] - d[l]) / (2.0 * e[l])
+            g = (d[low + 1] - d[low]) / (2.0 * e[low])
             r = g.hypot(1.0)
             denom = g + r.copysign(g)
             if float(denom) == 0.0 or not denom.isfinite():
                 denom = ctx.wrap_scalar(
                     np.copysign(ctx.dtype(max(eps_f, 1e-30)), g.value)
                 )
-            g = (d[m] - d[l]) + e[l] / denom
+            g = (d[m] - d[low]) + e[low] / denom
             s = ctx.wrap_scalar(1.0)
             c = ctx.wrap_scalar(1.0)
             p = ctx.wrap_scalar(0.0)
             restart = False
-            for i in range(m - 1, l - 1, -1):
+            for i in range(m - 1, low - 1, -1):
                 ei = e[i]
                 f = s * ei
                 b = c * ei
@@ -176,8 +176,8 @@ def tridiagonal_eigen(ctx, d, e, Z=None, max_sweeps: int = 60):
                 Z[:, i] = znew_i
             if restart:
                 continue
-            d[l] = d[l] - p
-            e[l] = g
+            d[low] = d[low] - p
+            e[low] = g
             e[m] = 0.0
     return d_full, Z_full
 

@@ -12,7 +12,7 @@ best-effort recovery from malformed headers.
 from __future__ import annotations
 
 import os
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

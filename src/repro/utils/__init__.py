@@ -1,6 +1,13 @@
 """Small shared utilities: parallel execution and text rendering."""
 
-from .parallel import default_workers, parallel_map
+from .parallel import ParallelTaskError, TaskOutcome, default_workers, parallel_map
 from .textplot import ascii_plot, format_table
 
-__all__ = ["default_workers", "parallel_map", "ascii_plot", "format_table"]
+__all__ = [
+    "default_workers",
+    "parallel_map",
+    "TaskOutcome",
+    "ParallelTaskError",
+    "ascii_plot",
+    "format_table",
+]

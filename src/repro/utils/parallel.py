@@ -1,18 +1,40 @@
 """Process-parallel map used by the experiment runner.
 
 The per-matrix experiments are embarrassingly parallel (MuFoLAB runs them the
-same way); a simple ``multiprocessing.Pool`` covers the use case without
-adding an MPI dependency.  Worker functions must be picklable module-level
-callables.
+same way); a ``multiprocessing.Pool`` covers the use case without adding an
+MPI dependency.  Worker functions must be picklable module-level callables.
+
+Two properties matter for the resumable experiment store built on top:
+
+* **work stealing** — tasks are distributed with ``imap_unordered``, so a
+  slow shard never idles the other workers, and results stream back to the
+  parent the moment they finish (the parent commits each one to the on-disk
+  store before the next arrives);
+* **per-task exception capture** — a crashing task is materialised as a
+  :class:`TaskOutcome` carrying the formatted traceback instead of poisoning
+  the whole pool.  Callers either receive the outcomes (``capture=True``) or
+  get the legacy fail-fast behaviour (a :class:`ParallelTaskError` raised
+  after the surviving results streamed out).
+
+``KeyboardInterrupt`` is deliberately *not* captured: Ctrl-C still tears the
+pool down, and whatever the parent committed before the interrupt is exactly
+what a re-invocation can resume from.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
-from typing import Callable, Iterable, Sequence
+import traceback
+from typing import Any, Callable, Optional, Sequence
 
-__all__ = ["default_workers", "parallel_map"]
+__all__ = [
+    "default_workers",
+    "parallel_map",
+    "TaskOutcome",
+    "ParallelTaskError",
+]
 
 
 def default_workers(fallback: int = 1) -> int:
@@ -29,7 +51,73 @@ def default_workers(fallback: int = 1) -> int:
         return fallback
 
 
-def parallel_map(func: Callable, items: Sequence, workers: int = 1, chunksize: int = 1) -> list:
+@dataclasses.dataclass
+class TaskOutcome:
+    """Result of one task: either a value or a formatted traceback.
+
+    Attributes
+    ----------
+    index:
+        Position of the task in the input sequence (``imap_unordered``
+        returns outcomes in completion order; the index restores input
+        order).
+    value:
+        The callable's return value (``None`` when the task raised).
+    error:
+        ``traceback.format_exc()`` of the exception that killed the task,
+        or ``None`` on success.
+    """
+
+    index: int
+    value: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the task returned normally."""
+        return self.error is None
+
+
+class ParallelTaskError(RuntimeError):
+    """A task raised inside ``parallel_map`` (fail-fast mode).
+
+    The worker's formatted traceback is embedded in the message — the
+    original exception object may not survive pickling back from the worker
+    process, but its traceback text always does.
+    """
+
+    def __init__(self, index: int, error: str):
+        self.index = index
+        self.error = error
+        super().__init__(f"task {index} raised:\n{error}")
+
+
+class _CaptureCall:
+    """Picklable wrapper running one ``(index, item)`` task under capture.
+
+    ``KeyboardInterrupt``/``SystemExit`` propagate (they must kill the
+    pool); everything else becomes a failed :class:`TaskOutcome`.
+    """
+
+    def __init__(self, func: Callable):
+        self.func = func
+
+    def __call__(self, indexed_item) -> TaskOutcome:
+        index, item = indexed_item
+        try:
+            return TaskOutcome(index=index, value=self.func(item))
+        except Exception:
+            return TaskOutcome(index=index, error=traceback.format_exc())
+
+
+def parallel_map(
+    func: Callable,
+    items: Sequence,
+    workers: int = 1,
+    chunksize: int = 1,
+    capture: bool = False,
+    on_result: Optional[Callable[[TaskOutcome], None]] = None,
+) -> list:
     """Apply ``func`` to every item, optionally across worker processes.
 
     Parameters
@@ -42,18 +130,61 @@ def parallel_map(func: Callable, items: Sequence, workers: int = 1, chunksize: i
         Number of worker processes; ``1`` (default) runs serially in-process,
         ``0`` or negative uses all available CPUs.
     chunksize:
-        Work chunk size handed to each worker.
+        Work chunk size handed to each worker (``imap_unordered`` batches).
+    capture:
+        With ``capture=False`` (default, legacy behaviour) a raising task
+        aborts the map with :class:`ParallelTaskError` — but only after all
+        surviving outcomes were streamed to ``on_result``, so completed work
+        is never silently discarded.  With ``capture=True`` the return value
+        is a list of :class:`TaskOutcome` (input order) and no exception is
+        raised for failing tasks.
+    on_result:
+        Parent-process callback invoked with each :class:`TaskOutcome` as it
+        completes (completion order, not input order).  This is where the
+        experiment store commits records: a later crash or Ctrl-C cannot
+        take already-committed results with it.
 
     Returns
     -------
     list
-        Results in the order of ``items``.
+        ``capture=False``: the results, in the order of ``items``.
+        ``capture=True``: :class:`TaskOutcome` objects, in the order of
+        ``items``.
     """
     items = list(items)
+    call = _CaptureCall(func)
+    outcomes: list[Optional[TaskOutcome]] = [None] * len(items)
+
     if workers == 1 or len(items) <= 1:
-        return [func(item) for item in items]
+        for index, item in enumerate(items):
+            outcome = call((index, item))
+            if on_result is not None:
+                on_result(outcome)
+            outcomes[index] = outcome
+            if not capture and not outcome.ok:
+                # fail fast like the historical serial loop did — nothing
+                # after the crash has started, so nothing is lost
+                raise ParallelTaskError(index, outcome.error)
+        return _finalise(outcomes, capture)
+
     if workers <= 0:
         workers = multiprocessing.cpu_count()
     workers = min(workers, len(items))
     with multiprocessing.Pool(processes=workers) as pool:
-        return pool.map(func, items, chunksize=max(1, chunksize))
+        for outcome in pool.imap_unordered(
+            call, list(enumerate(items)), chunksize=max(1, chunksize)
+        ):
+            if on_result is not None:
+                on_result(outcome)
+            outcomes[outcome.index] = outcome
+    return _finalise(outcomes, capture)
+
+
+def _finalise(outcomes: list, capture: bool) -> list:
+    """Order-restored results; raise the first failure in fail-fast mode."""
+    if capture:
+        return outcomes
+    for outcome in outcomes:
+        if outcome is not None and not outcome.ok:
+            raise ParallelTaskError(outcome.index, outcome.error)
+    return [outcome.value for outcome in outcomes]

@@ -128,36 +128,36 @@ def tridiagonal_eigen_explicit(ctx, d, e, Z=None, max_sweeps: int = 60):
     one = ctx.dtype(1.0)
     two = ctx.dtype(2.0)
 
-    for l in range(n):
+    for low in range(n):
         sweeps = 0
         while True:
             if not (np.all(np.isfinite(d)) and np.all(np.isfinite(e_full))):
                 raise EigenConvergenceError("non-finite values during QL iteration")
-            m = l
+            m = low
             while m < n - 1:
                 dd = abs(float(d[m])) + abs(float(d[m + 1]))
                 if abs(float(e_full[m])) <= eps_f * dd:
                     break
                 m += 1
-            if m == l:
+            if m == low:
                 break
             sweeps += 1
             if sweeps > max_sweeps:
                 raise EigenConvergenceError(
-                    f"QL iteration did not deflate eigenvalue {l} within "
+                    f"QL iteration did not deflate eigenvalue {low} within "
                     f"{max_sweeps} sweeps in {ctx.name}"
                 )
-            g = ctx.div(ctx.sub(d[l + 1], d[l]), ctx.mul(two, e_full[l]))
+            g = ctx.div(ctx.sub(d[low + 1], d[low]), ctx.mul(two, e_full[low]))
             r = ctx.hypot(g, one)
             denom = ctx.add(g, np.copysign(r, g))
             if float(denom) == 0.0 or not np.isfinite(denom):
                 denom = np.copysign(ctx.dtype(max(float(eps), 1e-30)), g)
-            g = ctx.add(ctx.sub(d[m], d[l]), ctx.div(e_full[l], denom))
+            g = ctx.add(ctx.sub(d[m], d[low]), ctx.div(e_full[low], denom))
             s = one
             c = one
             p = ctx.dtype(0.0)
             restart = False
-            for i in range(m - 1, l - 1, -1):
+            for i in range(m - 1, low - 1, -1):
                 f = ctx.mul(s, e_full[i])
                 b = ctx.mul(c, e_full[i])
                 r = ctx.hypot(f, g)
@@ -182,8 +182,8 @@ def tridiagonal_eigen_explicit(ctx, d, e, Z=None, max_sweeps: int = 60):
                 Z[:, i] = ctx.sub(ctx.mul(c, zi), ctx.mul(s, zi1))
             if restart:
                 continue
-            d[l] = ctx.sub(d[l], p)
-            e_full[l] = g
+            d[low] = ctx.sub(d[low], p)
+            e_full[low] = g
             e_full[m] = ctx.dtype(0.0)
     return d, Z
 

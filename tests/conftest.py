@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -24,6 +26,22 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "extended_longdouble" in item.keywords:
             item.add_marker(skip)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_experiment_store(tmp_path_factory):
+    """Point $REPRO_STORE at a per-session temp dir.
+
+    The experiment CLI defaults to the user's ``~/.cache/repro-store``;
+    tests (including the subprocess-based CLI smoke tests, which inherit
+    the environment) must neither read from nor pollute it."""
+    previous = os.environ.get("REPRO_STORE")
+    os.environ["REPRO_STORE"] = str(tmp_path_factory.mktemp("repro-store"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_STORE", None)
+    else:
+        os.environ["REPRO_STORE"] = previous
 
 
 @pytest.fixture

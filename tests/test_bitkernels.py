@@ -351,6 +351,25 @@ def test_farray_inplace_operators_match_out_of_place():
         assert np.array_equal(z.data, expected.data, equal_nan=True), op
 
 
+def test_farray_inplace_on_zero_dim_buffer():
+    """Regression: the contexts' all-scalar branch ignores ``out=`` for a
+    0-d buffer, so ``+=`` used to silently drop the update."""
+    ctx = get_context("posit16")
+    for value, operand, op in ((2.0, 1.0, "add"), (2.0, 3.0, "mul")):
+        # ctx.array routes 0-d input to FScalar; ctx.wrap keeps the buffer
+        a = ctx.wrap(np.asarray(value, dtype=ctx.dtype))
+        assert a.data.ndim == 0
+        buf = a.data
+        if op == "add":
+            a += operand
+            expected = ctx.add(value, operand)
+        else:
+            a *= operand
+            expected = ctx.mul(value, operand)
+        assert a.data is buf
+        assert float(a.data) == float(expected)
+
+
 # --------------------------------------------------------------------- #
 # engine plumbing
 # --------------------------------------------------------------------- #

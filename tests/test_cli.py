@@ -4,7 +4,6 @@ import os
 import subprocess
 import sys
 
-import numpy as np
 import pytest
 
 from repro.experiments.cli import build_parser, main
@@ -109,6 +108,35 @@ class TestMain:
         assert "matrix" in text.splitlines()[0]
         assert len(text.splitlines()) >= 2
 
+    def test_crashed_worker_exits_nonzero(self, monkeypatch, capsys, tmp_path):
+        """Crashed worker cells keep sibling results but must not read as
+        success: the CLI writes all reports, then exits 2."""
+        from repro.experiments import store as store_mod
+
+        def boom(test_matrix, formats, cfg):
+            raise RuntimeError("cli crash injection")
+
+        monkeypatch.setattr(store_mod, "run_matrix_experiment", boom)
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        code = main(
+            [
+                "--suite",
+                "general",
+                "--widths",
+                "32",
+                "--matrices",
+                "1",
+                "--min-size",
+                "20",
+                "--max-size",
+                "24",
+                "--restarts",
+                "8",
+                "--no-plots",
+            ]
+        )
+        assert code == 2
+
     def test_graph_class_run(self, capsys):
         code = main(
             [
@@ -132,3 +160,34 @@ class TestMain:
         assert code == 0
         out = capsys.readouterr().out
         assert "takum16" in out
+
+
+class TestStoreSubcommand:
+    def test_store_ls_runs(self):
+        proc = _run_cli_subprocess("store", "ls")
+        assert proc.returncode == 0, proc.stderr
+        assert "entries:" in proc.stdout
+
+    def test_store_gc_runs(self):
+        proc = _run_cli_subprocess("store", "gc")
+        assert proc.returncode == 0, proc.stderr
+        assert "removed" in proc.stdout
+
+    def test_store_clear_noninteractive_aborts(self, tmp_path):
+        """Without --yes and without a tty, clear must refuse gracefully
+        (EOF on stdin reads as 'no'), not crash with EOFError."""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+        env["REPRO_STORE"] = str(tmp_path / "store")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.cli", "store", "clear"],
+            capture_output=True,
+            text=True,
+            env=env,
+            stdin=subprocess.DEVNULL,
+            timeout=60,
+        )
+        assert proc.returncode == 1
+        assert "aborted" in proc.stderr

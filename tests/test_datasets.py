@@ -8,7 +8,6 @@ from repro.datasets import (
     CLASS_NAMES,
     GENERAL_FAMILIES,
     GRAPH_CATEGORIES,
-    TestMatrix,
     available_suites,
     category_counts,
     classify_category,

@@ -160,6 +160,18 @@ class TestAggregation:
         assert len(rows) == 5
         assert {"matrix", "format", "status"} <= set(rows[0])
 
+    def test_figure_json_is_strict_json(self):
+        import json
+
+        from repro.experiments import figure_json
+
+        # E4M3 has zero evaluated runs -> NaN percentiles internally; the
+        # export must sanitise them to null and stay strict RFC JSON
+        payload = figure_json(self._records(), widths=(8, 16))
+        text = json.dumps(payload, sort_keys=True, allow_nan=False)  # must not raise
+        assert "NaN" not in text and "Infinity" not in text
+        assert payload["widths"]["8"]["formats"]["E4M3"]["eigenvalue_percentiles"]["50"] is None
+
 
 class TestTable1Report:
     def test_contains_all_classes_and_counts(self):

@@ -303,7 +303,6 @@ class TestSolverEquivalence:
         fmt = get_format(name)
         saved_kernel = type(fmt).has_scalar_kernel
         saved_cutoff = fmt.scalar_cutoff
-        ctx = get_context(name)
         try:
             type(fmt).has_scalar_kernel = False
             fmt.scalar_cutoff = 0

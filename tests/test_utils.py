@@ -1,15 +1,19 @@
 """Tests of the utility helpers (parallel map, text rendering)."""
 
 import math
-import os
 
-import numpy as np
 import pytest
 
-from repro.utils import ascii_plot, format_table, parallel_map
+from repro.utils import ParallelTaskError, ascii_plot, format_table, parallel_map
 
 
 def _square(x):
+    return x * x
+
+
+def _square_or_boom(x):
+    if x == 3:
+        raise ValueError("boom at three")
     return x * x
 
 
@@ -28,6 +32,49 @@ class TestParallelMap:
 
     def test_single_item_runs_serially(self):
         assert parallel_map(_square, [5], workers=8) == [25]
+
+
+class TestParallelMapExceptionCapture:
+    """Regression: a crashing task used to abort the whole pool and discard
+    every completed result; now it is captured per task."""
+
+    def test_pool_crash_does_not_discard_siblings(self):
+        outcomes = parallel_map(_square_or_boom, list(range(8)), workers=2, capture=True)
+        assert [o.index for o in outcomes] == list(range(8))  # input order restored
+        failed = [o for o in outcomes if not o.ok]
+        assert len(failed) == 1 and failed[0].index == 3
+        assert "ValueError" in failed[0].error and "boom at three" in failed[0].error
+        assert [o.value for o in outcomes if o.ok] == [x * x for x in range(8) if x != 3]
+
+    def test_serial_capture(self):
+        outcomes = parallel_map(_square_or_boom, list(range(5)), workers=1, capture=True)
+        assert [o.ok for o in outcomes] == [True, True, True, False, True]
+
+    def test_fail_fast_raises_with_traceback_pool(self):
+        with pytest.raises(ParallelTaskError, match="boom at three"):
+            parallel_map(_square_or_boom, list(range(8)), workers=2)
+
+    def test_fail_fast_raises_with_traceback_serial(self):
+        with pytest.raises(ParallelTaskError, match="boom at three"):
+            parallel_map(_square_or_boom, list(range(8)), workers=1)
+
+    def test_on_result_streams_every_outcome(self):
+        seen = []
+        parallel_map(
+            _square_or_boom,
+            list(range(6)),
+            workers=2,
+            capture=True,
+            on_result=seen.append,
+        )
+        assert sorted(o.index for o in seen) == list(range(6))
+
+    def test_on_result_sees_completed_work_before_fail_fast_raise(self):
+        seen = []
+        with pytest.raises(ParallelTaskError):
+            parallel_map(_square_or_boom, list(range(8)), workers=2, on_result=seen.append)
+        # every task's outcome streamed out before the error was raised
+        assert sorted(o.index for o in seen) == list(range(8))
 
 
 class TestAsciiPlot:

@@ -56,10 +56,16 @@ WORKLOAD = [
 ]
 
 
-def run_once(store_dir: str, tag: str, out_dir: pathlib.Path) -> tuple[dict, bytes]:
-    """One CLI invocation against ``store_dir``; returns (report, figure bytes)."""
+def run_once(store_dir: str, tag: str, out_dir: pathlib.Path) -> tuple[dict, bytes, dict]:
+    """One CLI invocation against ``store_dir``.
+
+    Returns ``(report, figure bytes, metrics)`` — the metrics snapshot comes
+    from ``--metrics-json`` (which also switches telemetry on for the run, so
+    the store's hit/miss counters are live).
+    """
     report_path = out_dir / f"report-{tag}.json"
     figure_path = out_dir / f"figure-{tag}.json"
+    metrics_path = out_dir / f"metrics-{tag}.json"
     argv = WORKLOAD + [
         "--store",
         store_dir,
@@ -67,13 +73,17 @@ def run_once(store_dir: str, tag: str, out_dir: pathlib.Path) -> tuple[dict, byt
         str(report_path),
         "--figure-json",
         str(figure_path),
+        "--metrics-json",
+        str(metrics_path),
     ]
     code = cli_main(argv)
     if code != 0:
         raise SystemExit(f"{tag} run exited with {code}")
     with open(report_path, "r", encoding="utf-8") as handle:
         report = json.load(handle)
-    return report, figure_path.read_bytes()
+    with open(metrics_path, "r", encoding="utf-8") as handle:
+        metrics = json.load(handle)
+    return report, figure_path.read_bytes(), metrics
 
 
 def main(argv=None) -> int:
@@ -96,7 +106,7 @@ def main(argv=None) -> int:
         out_dir = pathlib.Path(workdir)
         store_dir = str(out_dir / "store")
 
-        cold, cold_figure = run_once(store_dir, "cold", out_dir)
+        cold, cold_figure, _cold_metrics = run_once(store_dir, "cold", out_dir)
         if cold["cached"] != 0:
             failures.append(f"cold run started from a non-empty store: {cold['cached']} cached")
         if cold["executed"] != cold["planned"]:
@@ -105,8 +115,13 @@ def main(argv=None) -> int:
             )
         if cold["failed"] != 0:
             failures.append(f"cold run had {cold['failed']} crashed worker tasks")
+        if cold["telemetry"]["cache_hit_ratio"] != 0.0:
+            failures.append(
+                f"cold run reported hit ratio {cold['telemetry']['cache_hit_ratio']} "
+                "(expected 0.0)"
+            )
 
-        warm, warm_figure = run_once(store_dir, "warm", out_dir)
+        warm, warm_figure, warm_metrics = run_once(store_dir, "warm", out_dir)
         if warm["executed"] != 0:
             failures.append(f"warm run executed {warm['executed']} tasks (expected 0)")
         if warm["cached"] != warm["planned"]:
@@ -115,6 +130,25 @@ def main(argv=None) -> int:
             )
         if cold_figure != warm_figure:
             failures.append("aggregated figure data differs between cold and warm runs")
+
+        # the telemetry view of the same contract: a warm run is 100% cache
+        # hits — the embedded report says so, and the store counters agree
+        # (zero misses, every cell served as an executor cache hit)
+        if warm["telemetry"]["cache_hit_ratio"] != 1.0:
+            failures.append(
+                f"warm run reported hit ratio {warm['telemetry']['cache_hit_ratio']} "
+                "(expected 1.0)"
+            )
+        warm_counters = warm_metrics["counters"]
+        misses = warm_counters.get("store.get.miss", 0)
+        if misses != 0:
+            failures.append(f"warm run recorded {misses} store misses (expected 0)")
+        served = warm_counters.get("executor.cells{kind=cached}", 0)
+        if served != warm["planned"]:
+            failures.append(
+                f"warm run metrics counted {served} cached cells of "
+                f"{warm['planned']} planned"
+            )
 
         statuses = warm["statuses_by_format"]
         if args.update:
@@ -139,7 +173,8 @@ def main(argv=None) -> int:
         return 1
     print(
         "store round-trip OK: cold run computed everything, warm run executed "
-        "zero tasks, figure data byte-identical, statuses match the reference"
+        "zero tasks (100% cache hits, zero store misses), figure data "
+        "byte-identical, statuses match the reference"
     )
     return 0
 

@@ -21,6 +21,8 @@ from typing import Optional
 import numpy as np
 
 from . import bitkernels as _bitkernels
+from ..telemetry import core as _telemetry
+from ..telemetry.metrics import metrics as _metrics
 
 __all__ = [
     "NumberFormat",
@@ -72,6 +74,40 @@ WIDE_SCALAR_CUTOFF = 24
 LONGDOUBLE_EXTENDED = np.finfo(np.longdouble).nmant > np.finfo(np.float64).nmant
 
 _LONGDOUBLE_WARNED = False
+
+
+#: deferred dispatch tallies, ``(format, path) -> [calls, elements]``.
+#: ``round_array`` sits on the contexts' array hot path where even one
+#: registry lookup (label canonicalisation + lock) per call blows the ≤2%
+#: telemetry budget of ``benchmarks/bench_telemetry.py``; a plain-dict
+#: increment costs ~0.2µs and the registry drains the tally at read time
+#: (see :meth:`repro.telemetry.MetricsRegistry.register_flusher`).
+_dispatch_tally: dict[tuple[str, str], list] = {}
+
+
+def _count_dispatch(fmt: "NumberFormat", path: str, n: int) -> None:
+    """Tally one vector rounding dispatch decision (caller checks ENABLED)."""
+    key = (fmt.name, path)
+    entry = _dispatch_tally.get(key)
+    if entry is None:
+        entry = _dispatch_tally[key] = [0, 0]
+    entry[0] += 1
+    entry[1] += n
+
+
+def _flush_dispatch_tally(discard: bool = False) -> None:
+    """Drain the deferred tallies into the registry (or drop on reset)."""
+    for (fmt_name, path), entry in _dispatch_tally.items():
+        calls, elements = entry[0], entry[1]
+        if calls and not discard:
+            _metrics.counter("rounding.dispatch", format=fmt_name, path=path).inc(calls)
+        if elements and not discard:
+            _metrics.counter("rounding.elements", format=fmt_name, path=path).inc(elements)
+        entry[0] -= calls
+        entry[1] -= elements
+
+
+_metrics.register_flusher(_flush_dispatch_tally)
 
 
 def require_extended_longdouble(format_name: str) -> bool:
@@ -456,6 +492,8 @@ class NumberFormat(ABC):
                 and n > SCALAR_CUTOFF
                 and self.bitkernel() is not None
             ):
+                if _telemetry.ENABLED:
+                    _count_dispatch(self, "table", n)
                 return table.round_values(values, out=out)
             kern = self.bitkernel()
         else:
@@ -463,9 +501,15 @@ class NumberFormat(ABC):
             if self.has_scalar_kernel and n <= (
                 self.scalar_cutoff if kern is None else self.bitkernel_scalar_cutoff
             ):
+                if _telemetry.ENABLED:
+                    _count_dispatch(self, "scalar_kernel", n)
                 return self._round_small_array(values, out=out)
         if kern is not None:
+            if _telemetry.ENABLED:
+                _count_dispatch(self, "bitkernel", n)
             return kern.round(values, out=out)
+        if _telemetry.ENABLED:
+            _count_dispatch(self, "analytic", n)
         res = self.round_array_analytic(values)
         if out is not None:
             out[...] = res

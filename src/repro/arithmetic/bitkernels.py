@@ -66,6 +66,40 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..telemetry import core as _telemetry
+from ..telemetry.metrics import metrics as _metrics
+
+#: deferred telemetry tallies (same pattern as ``base._dispatch_tally``:
+#: kernel calls are too hot for per-call registry lookups, so plain dicts
+#: accumulate here and the registry drains them at read time):
+#: ``(family, event) -> count`` for scratch alloc/reuse decisions
+_scratch_tally: dict[tuple[str, str], int] = {}
+#: ``(family, bits) -> [elements, lut_fallback, zero_peeled]``
+_round_tally: dict[tuple[str, int], list] = {}
+
+
+def _flush_bitkernel_tally(discard: bool = False) -> None:
+    """Drain the deferred kernel tallies into the registry (or drop)."""
+    for (family, event), count in _scratch_tally.items():
+        if count and not discard:
+            _metrics.counter("bitkernel.scratch", family=family, event=event).inc(count)
+        _scratch_tally[family, event] -= count
+    for (family, bits), entry in _round_tally.items():
+        elements, lut, peeled = entry[0], entry[1], entry[2]
+        if not discard:
+            if elements:
+                _metrics.counter("bitkernel.elements", family=family, bits=bits).inc(elements)
+            if lut:
+                _metrics.counter("bitkernel.lut_fallback", family=family, bits=bits).inc(lut)
+            if peeled:
+                _metrics.counter("bitkernel.zero_peeled", family=family, bits=bits).inc(peeled)
+        entry[0] -= elements
+        entry[1] -= lut
+        entry[2] -= peeled
+
+
+_metrics.register_flusher(_flush_bitkernel_tally)
+
 __all__ = [
     "BitKernel",
     "IEEEBitKernel",
@@ -202,6 +236,12 @@ class BitKernel:
                 if len(self._scratch) >= _MAX_SCRATCH_SIZES:
                     self._scratch.clear()
                 self._scratch[size] = bufs
+            if _telemetry.ENABLED:
+                key = (self.family, "alloc")
+                _scratch_tally[key] = _scratch_tally.get(key, 0) + 1
+        elif _telemetry.ENABLED:
+            key = (self.family, "reuse")
+            _scratch_tally[key] = _scratch_tally.get(key, 0) + 1
         return bufs
 
     def round(self, values: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
@@ -240,12 +280,14 @@ class BitKernel:
         np.right_shift(acc, shift, out=acc)
         np.left_shift(acc, shift, out=acc)
         self._special.take(idx_i, out=spec)
+        resolved = peeled = 0
         if spec.any():
             mask = spec.view(bool)
             sub = flat[mask]
             nonzero = sub != 0.0
             if nonzero.all():
                 acc[mask] = self._resolve(sub).view(_U)
+                resolved = sub.size
             else:
                 # exact zeros are by far the most common "special" in solver
                 # data (structurally zero matrix entries); peel them off
@@ -254,8 +296,20 @@ class BitKernel:
                 if self.unsigned_zero:
                     res = res & np.where(nonzero, _U(0xFFFFFFFFFFFFFFFF), _U(0))
                 if nonzero.any():
-                    res[nonzero] = self._resolve(sub[nonzero]).view(_U)
+                    nz = sub[nonzero]
+                    res[nonzero] = self._resolve(nz).view(_U)
+                    resolved = nz.size
+                peeled = sub.size - resolved
                 acc[mask] = res
+        if _telemetry.ENABLED:
+            # LUT fallback fraction = lut_fallback / elements per family
+            key = (self.family, self.bits)
+            entry = _round_tally.get(key)
+            if entry is None:
+                entry = _round_tally[key] = [0, 0, 0]
+            entry[0] += flat.size
+            entry[1] += resolved
+            entry[2] += peeled
         if out is None:
             out = np.empty(x.shape, dtype=np.float64)
         # copyto handles non-contiguous out (e.g. a column view being

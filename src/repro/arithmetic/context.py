@@ -39,6 +39,8 @@ import numpy as np
 
 from .base import MAX_TABLE_BITS, NumberFormat, RoundingInfo
 from .registry import get_format
+from ..telemetry import core as _telemetry
+from ..telemetry.metrics import metrics as _metrics
 
 #: operand types the elementary operations treat as scalars
 _SCALAR_TYPES = (float, int, np.floating, np.integer)
@@ -136,6 +138,8 @@ class ComputeContext(ABC):
         self.accumulation = accumulation
         self.count_ops = count_ops
         self.op_count: int = 0
+        # ops already flushed into the telemetry registry (publish_op_count)
+        self._published_ops: int = 0
 
     # ------------------------------------------------------------------ #
     # primitives
@@ -238,6 +242,28 @@ class ComputeContext(ABC):
     def _tally(self, n: int) -> None:
         if self.count_ops:
             self.op_count += int(n)
+
+    def publish_op_count(self) -> int:
+        """Flush the context-local op tally into the telemetry registry.
+
+        :attr:`op_count` is deliberately per-instance and unsynchronised —
+        incrementing a process-wide registry per elementary operation would
+        dominate the scalar hot path.  Instead the solvers and the
+        experiment runner call this at phase boundaries: the *delta* since
+        the previous flush is added to the ``ops.rounded`` counter (labelled
+        by context name), so totals survive context re-entry and re-created
+        contexts instead of silently resetting with each instance.
+
+        Returns the flushed delta (0 when nothing new was tallied).  The
+        local tally keeps working with telemetry disabled; the publication
+        cursor still advances, so enabling mid-run only publishes ops
+        tallied after that point.
+        """
+        delta = self.op_count - self._published_ops
+        self._published_ops = self.op_count
+        if delta and _telemetry.ENABLED:
+            _metrics.counter("ops.rounded", format=self.name).inc(delta)
+        return delta
 
     # ------------------------------------------------------------------ #
     # elementwise operations (each result is rounded once)

@@ -59,6 +59,32 @@ from .base import (
     nearest_in_table,
     nearest_in_table_scalar,
 )
+from ..telemetry import core as _telemetry
+from ..telemetry.metrics import metrics as _metrics
+
+#: deferred telemetry tallies (same pattern as ``base._dispatch_tally``;
+#: the scalar_loop branch of ``round_values`` serves the solvers' *scalar*
+#: operations, far too hot for a registry lookup per call):
+#: ``(format, kernel) -> [calls, elements]``
+_round_tally: dict[tuple[str, str], list] = {}
+
+
+def _flush_table_tally(discard: bool = False) -> None:
+    """Drain the deferred table-rounder tallies into the registry (or drop)."""
+    for (fmt_name, kernel), entry in _round_tally.items():
+        calls, elements = entry[0], entry[1]
+        if not discard:
+            if calls:
+                _metrics.counter("table.round", format=fmt_name, kernel=kernel).inc(calls)
+            if elements:
+                _metrics.counter(
+                    "table.round.elements", format=fmt_name, kernel=kernel
+                ).inc(elements)
+        entry[0] -= calls
+        entry[1] -= elements
+
+
+_metrics.register_flusher(_flush_table_tally)
 
 __all__ = [
     "TableSemantics",
@@ -424,6 +450,14 @@ class ValueTable:
         """
         sem = self.semantics
         x = np.asarray(values, dtype=self.work_dtype)
+        if _telemetry.ENABLED:
+            kernel = "scalar_loop" if x.size <= SCALAR_CUTOFF else "vector"
+            key = (self.format_name, kernel)
+            entry = _round_tally.get(key)
+            if entry is None:
+                entry = _round_tally[key] = [0, 0]
+            entry[0] += 1
+            entry[1] += x.size
         if x.size <= SCALAR_CUTOFF:
             # tiny arrays (the solvers' scalar operations) skip the ~10
             # NumPy dispatch round-trips of the vector path
@@ -537,6 +571,11 @@ class TableCache:
             fmt._value_table = table
             if table is not None:
                 self._tables.setdefault(fmt.name, table)
+                if _telemetry.ENABLED:
+                    _metrics.counter("table.build", format=fmt.name).inc()
+                    _metrics.gauge("table.cache.nbytes").set(
+                        sum(t.nbytes for t in self._tables.values())
+                    )
             return table
 
     def loaded(self) -> list[str]:

@@ -25,6 +25,7 @@ import dataclasses
 
 import numpy as np
 
+from ..telemetry import trace as _trace
 from .results import ArnoldiBreakdown
 
 __all__ = ["KrylovDecomposition", "arnoldi_expand"]
@@ -148,7 +149,11 @@ def arnoldi_expand(
         rng = np.random.default_rng(0)
     if k >= target_order or decomp.invariant:
         return decomp, 0
+    with _trace.span("arnoldi.expand", fmt=ctx.name, start=k, target=target_order):
+        return _expand(ctx, matrix, decomp, target_order, rng, n, k)
 
+
+def _expand(ctx, matrix, decomp, target_order, rng, n, k):
     V = ctx.wrap(np.zeros((n, target_order), dtype=ctx.dtype))
     S = ctx.wrap(np.zeros((target_order, target_order), dtype=ctx.dtype))
     if k:

@@ -26,6 +26,7 @@ import numpy as np
 from ..arithmetic.context import ComputeContext, ContextSpec, get_context
 from ..linalg.ordering import select_order
 from ..linalg.tridiagonal import EigenConvergenceError, symmetric_eigen
+from ..telemetry import trace as _trace
 from .arnoldi import KrylovDecomposition, arnoldi_expand
 from .results import ArnoldiBreakdown, PartialSchurResult
 
@@ -174,84 +175,95 @@ def partialschur(
     theta = Y = b_ritz = None
     order = None
 
-    try:
-        while True:
-            decomp, used = arnoldi_expand(ctx, matrix, decomp, maxdim, rng=deflation_rng)
-            matvecs += used
-            theta, Y, b_ritz = _ritz_decomposition(ctx, decomp)
-            if not np.all(np.isfinite(np.asarray(theta, dtype=np.float64))):
-                raise ArnoldiBreakdown("non-finite Ritz values")
-            order = select_order(np.asarray(theta, dtype=np.float64), which)
-            nconv = _count_converged(theta, b_ritz, order, min(nev, decomp.order), solver_tol)
-            if history:
-                hist.append(nconv)
-            if decomp.invariant:
-                reason = "invariant"
-                break
-            if nconv >= min(nev, decomp.order):
-                reason = "converged"
-                break
-            if restart_count >= restarts:
-                reason = "maxiter"
-                break
-            restart_count += 1
-            # truncate: keep the wanted Ritz vectors plus half of the rest
-            keep = min(
-                decomp.order - 1,
-                max(nev + (decomp.order - nev) // 2, nev + 1),
-            )
-            sel = order[:keep]
+    with _trace.span("krylov_schur.solve", fmt=ctx.name) as _sp:
+        try:
+            while True:
+                decomp, used = arnoldi_expand(ctx, matrix, decomp, maxdim, rng=deflation_rng)
+                matvecs += used
+                with _trace.span("krylov_schur.ritz", fmt=ctx.name):
+                    theta, Y, b_ritz = _ritz_decomposition(ctx, decomp)
+                if not np.all(np.isfinite(np.asarray(theta, dtype=np.float64))):
+                    raise ArnoldiBreakdown("non-finite Ritz values")
+                order = select_order(np.asarray(theta, dtype=np.float64), which)
+                nconv = _count_converged(theta, b_ritz, order, min(nev, decomp.order), solver_tol)
+                if history:
+                    hist.append(nconv)
+                if decomp.invariant:
+                    reason = "invariant"
+                    break
+                if nconv >= min(nev, decomp.order):
+                    reason = "converged"
+                    break
+                if restart_count >= restarts:
+                    reason = "maxiter"
+                    break
+                restart_count += 1
+                # truncate: keep the wanted Ritz vectors plus half of the rest
+                with _trace.span("krylov_schur.restart", fmt=ctx.name):
+                    keep = min(
+                        decomp.order - 1,
+                        max(nev + (decomp.order - nev) // 2, nev + 1),
+                    )
+                    sel = order[:keep]
+                    Ysel = np.asarray(Y)[:, sel]
+                    V_new = (ctx.wrap(decomp.V) @ ctx.wrap(Ysel)).data
+                    S_new = np.zeros((keep, keep), dtype=ctx.dtype)
+                    S_new[np.arange(keep), np.arange(keep)] = np.asarray(theta)[sel]
+                    b_new = np.asarray(b_ritz)[sel].astype(ctx.dtype)
+                    decomp = KrylovDecomposition(
+                        V=V_new, S=S_new, b=b_new, residual=decomp.residual, invariant=False
+                    )
+
+            # assemble the result from the last Ritz decomposition
+            nret = min(nev, decomp.order)
+            sel = order[:nret]
+            theta_np = np.asarray(theta)
+            lam = theta_np[sel]
             Ysel = np.asarray(Y)[:, sel]
-            V_new = (ctx.wrap(decomp.V) @ ctx.wrap(Ysel)).data
-            S_new = np.zeros((keep, keep), dtype=ctx.dtype)
-            S_new[np.arange(keep), np.arange(keep)] = np.asarray(theta)[sel]
-            b_new = np.asarray(b_ritz)[sel].astype(ctx.dtype)
-            decomp = KrylovDecomposition(
-                V=V_new, S=S_new, b=b_new, residual=decomp.residual, invariant=False
+            X = (ctx.wrap(decomp.V) @ ctx.wrap(Ysel)).data
+            residuals = np.abs(np.asarray(b_ritz, dtype=np.float64))[sel]
+            if decomp.invariant:
+                residuals = np.zeros(nret)
+            nconv = (
+                _count_converged(theta, b_ritz, order, nret, solver_tol)
+                if not decomp.invariant
+                else nret
             )
-    except (ArnoldiBreakdown, EigenConvergenceError):
-        # the arithmetic broke down (overflow, NaR propagation or a projected
-        # eigensolver that cannot deflate): report a non-converged run, the
-        # experiments translate this into the paper's ∞ω marker
-        return PartialSchurResult(
-            eigenvalues=np.zeros(0, dtype=ctx.dtype),
-            eigenvectors=np.zeros((n, 0), dtype=ctx.dtype),
-            residuals=np.zeros(0),
-            converged=False,
-            nconverged=0,
-            restarts=restart_count,
-            matvecs=matvecs,
-            reason="breakdown",
-            which=which,
-            tolerance=tol,
-            format_name=ctx.name,
-            history=hist if history else None,
-        )
+            converged = reason in ("converged", "invariant") and nconv >= nret
 
-    # assemble the result from the last Ritz decomposition
-    nret = min(nev, decomp.order)
-    sel = order[:nret]
-    theta_np = np.asarray(theta)
-    lam = theta_np[sel]
-    Ysel = np.asarray(Y)[:, sel]
-    X = (ctx.wrap(decomp.V) @ ctx.wrap(Ysel)).data
-    residuals = np.abs(np.asarray(b_ritz, dtype=np.float64))[sel]
-    if decomp.invariant:
-        residuals = np.zeros(nret)
-    nconv = _count_converged(theta, b_ritz, order, nret, solver_tol) if not decomp.invariant else nret
-    converged = reason in ("converged", "invariant") and nconv >= nret
-
-    return PartialSchurResult(
-        eigenvalues=lam,
-        eigenvectors=X,
-        residuals=residuals,
-        converged=converged,
-        nconverged=nconv,
-        restarts=restart_count,
-        matvecs=matvecs,
-        reason=reason,
-        which=which,
-        tolerance=tol,
-        format_name=ctx.name,
-        history=hist if history else None,
-    )
+            return PartialSchurResult(
+                eigenvalues=lam,
+                eigenvectors=X,
+                residuals=residuals,
+                converged=converged,
+                nconverged=nconv,
+                restarts=restart_count,
+                matvecs=matvecs,
+                reason=reason,
+                which=which,
+                tolerance=tol,
+                format_name=ctx.name,
+                history=hist if history else None,
+            )
+        except (ArnoldiBreakdown, EigenConvergenceError):
+            # the arithmetic broke down (overflow, NaR propagation or a projected
+            # eigensolver that cannot deflate): report a non-converged run, the
+            # experiments translate this into the paper's ∞ω marker
+            return PartialSchurResult(
+                eigenvalues=np.zeros(0, dtype=ctx.dtype),
+                eigenvectors=np.zeros((n, 0), dtype=ctx.dtype),
+                residuals=np.zeros(0),
+                converged=False,
+                nconverged=0,
+                restarts=restart_count,
+                matvecs=matvecs,
+                reason="breakdown",
+                which=which,
+                tolerance=tol,
+                format_name=ctx.name,
+                history=hist if history else None,
+            )
+        finally:
+            # flush the solve's op tally into the registry and annotate the
+            # span on every exit path (converged, breakdown, propagated error)
+            _sp.set(restarts=restart_count, matvecs=matvecs, ops=ctx.publish_op_count())

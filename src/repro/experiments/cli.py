@@ -28,10 +28,19 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import os
 import sys
 
 from ..arithmetic.registry import PAPER_FORMATS
 from ..datasets import get_suite
+from ..telemetry import (
+    TelemetryReport,
+    metrics,
+    render_trace_summary,
+    set_enabled,
+    summarize_trace,
+)
+from ..telemetry import trace as telemetry_trace
 from ..utils.parallel import default_workers
 from .aggregate import statuses_by_format
 from .config import ExperimentConfig
@@ -39,7 +48,7 @@ from .figures import figure_csv_rows, figure_json, figure_report, table1_report
 from .runner import run_experiment
 from .store import ResultStore
 
-__all__ = ["main", "build_parser", "build_store_parser"]
+__all__ = ["main", "build_parser", "build_store_parser", "build_trace_parser"]
 
 
 #: --help epilog surfacing the rounding-backend opt-out hierarchy (the
@@ -76,6 +85,16 @@ experiment store:
   ~/.cache/repro-store); --no-cache recomputes everything (still
   refreshing the store); --rerun-failed retries cells whose worker
   crashed.  Inspect with the 'store' subcommand: store ls | gc | clear.
+
+telemetry:
+  Observability is off by default and costs <= 2% when compiled in (gated
+  by benchmarks/bench_telemetry.py --check).  --trace FILE records
+  hierarchical solver/experiment spans as JSON-lines (worker shards are
+  merged after the run); --metrics-json FILE dumps the process metrics
+  registry (kernel-dispatch counters, LUT fallback fractions, store
+  hits/misses, rounded-op totals).  Either flag enables collection
+  (REPRO_TELEMETRY=1 does the same for library use).  Summarise a trace
+  with: trace summarize FILE.
 """
 
 
@@ -167,7 +186,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the execution report (planned/cached/executed cell "
-        "counts + per-format run statuses) as JSON",
+        "counts + per-format run statuses + telemetry summary) as JSON",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="enable telemetry and record trace spans (solver phases, "
+        "experiment cells, executor run) as JSON-lines to FILE; worker "
+        "shard files are merged into FILE after the run",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="FILE",
+        help="enable telemetry and write the metrics-registry snapshot "
+        "(dispatch counters, store hits/misses, op totals) as JSON",
     )
     parser.add_argument(
         "--figure-json",
@@ -212,6 +246,36 @@ def build_store_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``trace`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment trace",
+        description="Summarise a JSON-lines trace file produced by --trace.",
+    )
+    parser.add_argument(
+        "command",
+        choices=["summarize"],
+        help="summarize: phase/format wall-time and op breakdown",
+    )
+    parser.add_argument("file", help="trace file written by a --trace run")
+    return parser
+
+
+def trace_main(argv) -> int:
+    """Entry point of ``python -m repro.experiments.cli trace ...``."""
+    args = build_trace_parser().parse_args(argv)
+    try:
+        summary = summarize_trace(args.file)
+    except OSError as exc:
+        print(f"cannot read trace file: {exc}", file=sys.stderr)
+        return 1
+    if not summary["events"]:
+        print(f"no span events in {args.file}", file=sys.stderr)
+        return 1
+    print(render_trace_summary(summary, title=f"trace {args.file}"))
+    return 0
+
+
 def store_main(argv) -> int:
     """Entry point of ``python -m repro.experiments.cli store ...``."""
     args = build_store_parser().parse_args(argv)
@@ -253,10 +317,23 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["store"]:
         return store_main(argv[1:])
+    if argv[:1] == ["trace"]:
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.suite == "table1":
         print(table1_report(scale=args.scale))
         return 0
+
+    telemetry_on = bool(args.trace or args.metrics_json)
+    if telemetry_on:
+        # fresh per-invocation metrics view; the env export lets workers
+        # under the 'spawn' start method inherit the switch ('fork' workers
+        # inherit the toggled module state directly)
+        set_enabled(True)
+        os.environ["REPRO_TELEMETRY"] = "1"
+        metrics.reset()
+        if args.trace:
+            telemetry_trace.configure(args.trace)
 
     suite = _build_suite(args)
     if not suite:
@@ -287,11 +364,9 @@ def main(argv=None) -> int:
         rerun_failed=args.rerun_failed,
     )
     report = result.report
-    print(
-        f"store: {report.cached}/{report.planned} cells cached, "
-        f"{report.executed} executed ({report.failed} failed)",
-        file=sys.stderr,
-    )
+    if args.trace:
+        telemetry_trace.collate()
+        telemetry_trace.shutdown()
     print(
         figure_report(
             result.records,
@@ -300,14 +375,26 @@ def main(argv=None) -> int:
             plots=not args.no_plots,
         )
     )
+    telemetry_report = TelemetryReport(
+        wall_seconds=report.wall_seconds,
+        cache_hit_ratio=report.cache_hit_ratio,
+        metrics=metrics.snapshot() if telemetry_on else None,
+        trace_file=args.trace,
+    )
     if args.report_json:
         payload = report.to_dict()
         payload["store"] = str(store.root)
         payload["statuses_by_format"] = statuses_by_format(result.records)
+        payload["telemetry"] = telemetry_report.to_dict()
         with open(args.report_json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote execution report to {args.report_json}", file=sys.stderr)
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(metrics.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote metrics to {args.metrics_json}", file=sys.stderr)
     if args.figure_json:
         with open(args.figure_json, "w", encoding="utf-8") as handle:
             json.dump(
@@ -325,6 +412,14 @@ def main(argv=None) -> int:
             writer.writeheader()
             writer.writerows(rows)
         print(f"wrote {len(rows)} records to {args.output}", file=sys.stderr)
+    # one-line warm/cold summary on every run (the store satellite view)
+    mode = "warm" if report.executed == 0 else ("cold" if report.cached == 0 else "mixed")
+    print(
+        f"run {mode}: {report.cached}/{report.planned} cells cached "
+        f"({100 * report.cache_hit_ratio:.0f}% hit), {report.executed} executed "
+        f"({report.failed} failed) in {report.wall_seconds:.2f}s wall",
+        file=sys.stderr,
+    )
     # crashed worker cells no longer abort the run (sibling results are
     # kept and committed), but they must not read as success either: all
     # reports above are written, then the partial result is flagged

@@ -10,6 +10,7 @@ figures.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
@@ -18,6 +19,7 @@ from ..arithmetic.context import get_context
 from ..arithmetic.registry import preload_tables
 from ..core.krylov_schur import partialschur
 from ..datasets.testmatrix import TestMatrix
+from ..telemetry import trace as _trace
 from .config import ExperimentConfig
 from .errors import ErrorMetrics, error_metrics
 from .matching import match_eigenpairs
@@ -78,6 +80,10 @@ class RunRecord:
     matvecs: int = 0
     solver_reason: str = ""
     traceback: str = ""
+    #: wall time of this cell (context build, conversion, solve, metrics)
+    solve_seconds: float = 0.0
+    #: rounded elementary operations tallied by the cell's compute context
+    rounded_ops: int = 0
 
     @property
     def evaluated(self) -> bool:
@@ -92,6 +98,8 @@ class MatrixExperiment:
     matrix: str
     reference: ReferenceRecord
     runs: list[RunRecord]
+    #: wall time of the whole per-matrix pipeline (reference + all cells)
+    seconds: float = 0.0
 
 
 @dataclasses.dataclass
@@ -122,17 +130,18 @@ class ExperimentResult:
 def _reference_solve(test_matrix: TestMatrix, config: ExperimentConfig):
     """Reference partial spectral decomposition in extended precision."""
     ctx = get_context(config.context_spec("reference"))
-    result = partialschur(
-        test_matrix.matrix,
-        nev=min(config.nev_total, test_matrix.n),
-        which=config.which,
-        tol=config.reference_tolerance,
-        maxdim=config.maxdim,
-        restarts=max(config.restarts, 100),
-        ctx=ctx,
-        seed=config.seed,
-        eps_floor=True,
-    )
+    with _trace.span("experiment.reference", matrix=test_matrix.name, fmt=ctx.name):
+        result = partialschur(
+            test_matrix.matrix,
+            nev=min(config.nev_total, test_matrix.n),
+            which=config.which,
+            tol=config.reference_tolerance,
+            maxdim=config.maxdim,
+            restarts=max(config.restarts, 100),
+            ctx=ctx,
+            seed=config.seed,
+            eps_floor=True,
+        )
     record = ReferenceRecord(
         matrix=test_matrix.name,
         converged=result.converged,
@@ -143,39 +152,33 @@ def _reference_solve(test_matrix: TestMatrix, config: ExperimentConfig):
     return result, record
 
 
-def run_matrix_experiment(
+def _run_cell(
     test_matrix: TestMatrix,
-    formats: Sequence[str],
-    config: Optional[ExperimentConfig] = None,
-) -> MatrixExperiment:
-    """Run the full per-matrix pipeline for every requested format."""
-    config = config or ExperimentConfig()
-    reference_result, reference_record = _reference_solve(test_matrix, config)
-    runs: list[RunRecord] = []
-
-    keep = min(config.eigenvalue_count, test_matrix.n)
-    ref_vals = np.asarray(reference_result.eigenvalues, dtype=np.float64)
-    ref_vecs = np.asarray(reference_result.eigenvectors, dtype=np.float64)
-
-    for format_name in formats:
-        record = RunRecord(
-            matrix=test_matrix.name,
-            group=test_matrix.group,
-            category=test_matrix.category,
-            format=format_name,
-            status="ok",
-        )
-        if not reference_record.converged:
-            record.status = "reference_failed"
-            runs.append(record)
-            continue
-        ctx = get_context(config.context_spec(format_name))
+    format_name: str,
+    config: ExperimentConfig,
+    reference_record: ReferenceRecord,
+    ref_vals: np.ndarray,
+    ref_vecs: np.ndarray,
+    keep: int,
+) -> RunRecord:
+    """Run one (matrix, format) cell of the experiment grid."""
+    record = RunRecord(
+        matrix=test_matrix.name,
+        group=test_matrix.group,
+        category=test_matrix.category,
+        format=format_name,
+        status="ok",
+    )
+    if not reference_record.converged:
+        record.status = "reference_failed"
+        return record
+    ctx = get_context(config.context_spec(format_name))
+    try:
         converted, info = ctx.convert_matrix(test_matrix.matrix)
         if info.range_exceeded:
             # the paper's ∞σ marker: the matrix entries do not fit the format
             record.status = "range_exceeded"
-            runs.append(record)
-            continue
+            return record
         result = partialschur(
             converted,
             nev=min(config.nev_total, test_matrix.n),
@@ -192,8 +195,7 @@ def run_matrix_experiment(
         record.solver_reason = result.reason
         if not result.converged or result.nev == 0:
             record.status = "no_convergence"
-            runs.append(record)
-            continue
+            return record
         try:
             vals, vecs, _ = match_eigenpairs(
                 ref_vals,
@@ -204,20 +206,56 @@ def run_matrix_experiment(
             )
         except ValueError:
             record.status = "no_convergence"
-            runs.append(record)
-            continue
+            return record
         metrics: ErrorMetrics = error_metrics(ref_vals[:keep], ref_vecs[:, :keep], vals, vecs)
         if not metrics.finite:
             record.status = "no_convergence"
-            runs.append(record)
-            continue
+            return record
         record.eigenvalue_relative_error = metrics.eigenvalue_relative
         record.eigenvector_relative_error = metrics.eigenvector_relative
         record.eigenvalue_absolute_error = metrics.eigenvalue_absolute
         record.eigenvector_absolute_error = metrics.eigenvector_absolute
+        return record
+    finally:
+        # every exit path: remember the cell's op tally and flush it into
+        # the telemetry registry (conversion + solve + post-solve rounding)
+        record.rounded_ops = ctx.op_count
+        ctx.publish_op_count()
+
+
+def run_matrix_experiment(
+    test_matrix: TestMatrix,
+    formats: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+) -> MatrixExperiment:
+    """Run the full per-matrix pipeline for every requested format."""
+    config = config or ExperimentConfig()
+    t_start = time.perf_counter()
+    reference_result, reference_record = _reference_solve(test_matrix, config)
+    runs: list[RunRecord] = []
+
+    keep = min(config.eigenvalue_count, test_matrix.n)
+    ref_vals = np.asarray(reference_result.eigenvalues, dtype=np.float64)
+    ref_vecs = np.asarray(reference_result.eigenvectors, dtype=np.float64)
+
+    for format_name in formats:
+        t_cell = time.perf_counter()
+        with _trace.span("experiment.cell", fmt=format_name, matrix=test_matrix.name) as sp:
+            record = _run_cell(
+                test_matrix, format_name, config, reference_record, ref_vals, ref_vecs, keep
+            )
+            # ops stays off this span: the nested krylov_schur.solve spans
+            # already carry the tally, and the summariser sums per format
+            sp.set(status=record.status)
+        record.solve_seconds = time.perf_counter() - t_cell
         runs.append(record)
 
-    return MatrixExperiment(matrix=test_matrix.name, reference=reference_record, runs=runs)
+    return MatrixExperiment(
+        matrix=test_matrix.name,
+        reference=reference_record,
+        runs=runs,
+        seconds=time.perf_counter() - t_start,
+    )
 
 
 def run_experiment(

@@ -38,6 +38,9 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence
 import numpy as np
 
 from ..datasets.testmatrix import TestMatrix
+from ..telemetry import core as _telemetry
+from ..telemetry import trace as _trace
+from ..telemetry.metrics import metrics as _metrics
 from ..utils.parallel import TaskOutcome, parallel_map
 from .config import ExperimentConfig
 from .runner import (
@@ -239,9 +242,14 @@ class ResultStore:
         """
         try:
             with open(self.path_for(key), "r", encoding="utf-8") as handle:
-                return json.load(handle)
+                payload = json.load(handle)
         except (OSError, ValueError):
+            if _telemetry.ENABLED:
+                _metrics.counter("store.get.miss").inc()
             return None
+        if _telemetry.ENABLED:
+            _metrics.counter("store.get.hit", kind=payload.get("kind", "unknown")).inc()
+        return payload
 
     def put(self, key: str, payload: dict) -> pathlib.Path:
         """Atomically commit ``payload`` under ``key``; returns the path.
@@ -261,6 +269,8 @@ class ResultStore:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(staging, destination)
+        if _telemetry.ENABLED:
+            _metrics.counter("store.put", kind=payload.get("kind", "unknown")).inc()
         return destination
 
     def __contains__(self, key: str) -> bool:
@@ -411,6 +421,11 @@ class ExecutionReport:
     cells that only regenerates a missing reference record).
     ``planned == cached + executed`` always holds on completion — a warm
     rerun is exactly ``executed == 0``.
+
+    ``wall_seconds`` is the end-to-end wall time of :func:`execute_plan`
+    (shard execution plus result assembly); ``shard_seconds`` maps each
+    executed shard's matrix name to the wall time its worker spent on it
+    (crashed shards included — the time until the crash).
     """
 
     planned: int = 0
@@ -418,10 +433,20 @@ class ExecutionReport:
     executed: int = 0
     failed: int = 0
     shards: int = 0
+    wall_seconds: float = 0.0
+    shard_seconds: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of planned cells served from the store (1.0 when the
+        plan was empty — nothing requested means nothing missed)."""
+        return self.cached / self.planned if self.planned else 1.0
 
     def to_dict(self) -> dict:
         """Plain-dict view (CLI ``--report-json``)."""
-        return dataclasses.asdict(self)
+        body = dataclasses.asdict(self)
+        body["cache_hit_ratio"] = self.cache_hit_ratio
+        return body
 
 
 @dataclasses.dataclass
@@ -547,6 +572,9 @@ def execute_plan(
     def commit(outcome: TaskOutcome) -> None:
         task = plan.tasks[outcome.index]
         fingerprint = task.fingerprint
+        report.shard_seconds[task.test_matrix.name] = outcome.seconds
+        if _telemetry.ENABLED:
+            _metrics.histogram("executor.shard_seconds").observe(outcome.seconds)
         if outcome.ok:
             experiment: MatrixExperiment = outcome.value
             fresh_references[fingerprint] = experiment.reference
@@ -584,7 +612,11 @@ def execute_plan(
         if progress is not None:
             progress(outcome, report)
 
-    parallel_map(_run_shard, plan.tasks, workers=workers, capture=True, on_result=commit)
+    t_start = time.perf_counter()
+    with _trace.span(
+        "experiment.run", shards=len(plan.tasks), planned=report.planned, cached=report.cached
+    ):
+        parallel_map(_run_shard, plan.tasks, workers=workers, capture=True, on_result=commit)
 
     records: list[RunRecord] = []
     references: list[ReferenceRecord] = []
@@ -606,6 +638,11 @@ def execute_plan(
             if record is None:
                 record = plan.cached_records[(fingerprint, name)]
             records.append(record)
+    report.wall_seconds = time.perf_counter() - t_start
+    if _telemetry.ENABLED:
+        _metrics.counter("executor.cells", kind="cached").inc(report.cached)
+        _metrics.counter("executor.cells", kind="executed").inc(report.executed)
+        _metrics.counter("executor.cells", kind="failed").inc(report.failed)
     return ExperimentResult(
         records=records, references=references, config=config, report=report
     )

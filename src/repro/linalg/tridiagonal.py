@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry import trace as _trace
 from .reflectors import apply_reflector_left, apply_reflector_right, householder_vector
 
 __all__ = [
@@ -48,6 +49,11 @@ def tridiagonalize(ctx, A):
     its diagonal, ``e`` its subdiagonal (length ``n - 1``) and ``Q``
     orthogonal.  All operations are carried out in the context arithmetic.
     """
+    with _trace.span("tridiagonal.reduce", fmt=ctx.name):
+        return _tridiagonalize(ctx, A)
+
+
+def _tridiagonalize(ctx, A):
     A = np.array(np.asarray(A, dtype=ctx.dtype), copy=True)
     n = A.shape[0]
     if A.shape[0] != A.shape[1]:
@@ -96,6 +102,11 @@ def tridiagonal_eigen(ctx, d, e, Z=None, max_sweeps: int = 60):
         If a sweep budget is exhausted or non-finite values appear (both are
         common failure modes of 8-bit arithmetic).
     """
+    with _trace.span("tridiagonal.ql", fmt=ctx.name):
+        return _tridiagonal_eigen(ctx, d, e, Z, max_sweeps)
+
+
+def _tridiagonal_eigen(ctx, d, e, Z=None, max_sweeps: int = 60):
     d_full = np.array(np.asarray(d, dtype=ctx.dtype), copy=True)
     n = d_full.shape[0]
     e_full = np.zeros(n, dtype=ctx.dtype)

@@ -1,0 +1,41 @@
+"""``repro.telemetry`` — structured metrics, trace spans and run reports.
+
+A zero-dependency observability layer with three pillars:
+
+* a process-wide **metrics registry** (:data:`metrics`) of counters, gauges
+  and histograms — kernel-dispatch decisions, LUT fallback fractions,
+  store hits/misses, executor task times, rounded-op totals per format;
+* hierarchical **trace spans** (:func:`trace.span`) emitted as JSON-lines
+  to a sink file, with per-process shard files merged by
+  :func:`trace.collate` after parallel runs;
+* **reports**: :class:`TelemetryReport` (embedded in the CLI's
+  ``--report-json``) and the ``repro trace summarize`` phase/format
+  breakdown (:func:`summarize_trace` / :func:`render_trace_summary`).
+
+The whole layer is **off by default** and compiled into the hot paths
+permanently: every instrumented site guards on one module attribute
+(:data:`repro.telemetry.core.ENABLED`), so the disabled cost is a dict
+lookup per site — gated at <= 2% by ``benchmarks/bench_telemetry.py
+--check``.  Enable with ``REPRO_TELEMETRY=1`` or :func:`set_enabled`; the
+experiment CLI enables it automatically when ``--trace`` or
+``--metrics-json`` is passed.
+"""
+
+from . import trace
+from .core import enabled, set_enabled
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
+from .report import TelemetryReport, render_trace_summary, summarize_trace
+
+__all__ = [
+    "trace",
+    "enabled",
+    "set_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "TelemetryReport",
+    "summarize_trace",
+    "render_trace_summary",
+]

@@ -1,0 +1,183 @@
+"""Telemetry surface area: the per-run report and the trace summariser.
+
+:class:`TelemetryReport` is the JSON-able document embedded in the CLI's
+``--report-json`` output: run wall time, the cache-hit ratio of the
+experiment store, and a full metrics-registry snapshot.
+
+:func:`summarize_trace` / :func:`render_trace_summary` back the ``repro
+trace summarize`` subcommand: they aggregate a JSON-lines span file into a
+phase (span name) and format breakdown — count, inclusive and self wall
+time, rounded-op counts where spans carry them — and compute the span
+coverage of the run's wall clock (the union of top-level span intervals
+across all processes over the observed wall window).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Iterable, Optional
+
+from .trace import read_events
+
+__all__ = [
+    "TelemetryReport",
+    "summarize_trace",
+    "render_trace_summary",
+]
+
+
+@dataclasses.dataclass
+class TelemetryReport:
+    """Per-run observability summary (embedded in ``--report-json``).
+
+    Attributes
+    ----------
+    wall_seconds:
+        End-to-end wall time of the experiment execution.
+    cache_hit_ratio:
+        Fraction of planned (matrix, format) cells served from the store
+        (1.0 for a fully warm rerun; 1.0 also for an empty plan).
+    metrics:
+        Flat snapshot of the process metrics registry
+        (:meth:`repro.telemetry.MetricsRegistry.snapshot`), ``None`` while
+        telemetry is disabled.
+    trace_file:
+        The collated span sink of this run, if one was configured.
+    """
+
+    wall_seconds: float = 0.0
+    cache_hit_ratio: float = 1.0
+    metrics: Optional[dict] = None
+    trace_file: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """Plain-dict view (CLI ``--report-json`` embedding)."""
+        return dataclasses.asdict(self)
+
+
+def _interval_union(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of ``[start, end]`` intervals."""
+    total = 0.0
+    end = None
+    for start, stop in sorted(intervals):
+        if end is None or start > end:
+            total += stop - start
+            end = stop
+        elif stop > end:
+            total += stop - end
+            end = stop
+    return total
+
+
+def summarize_trace(path: str | os.PathLike) -> dict:
+    """Aggregate a span file into phase/format statistics.
+
+    Returns a dict with:
+
+    * ``events`` — number of span events read;
+    * ``wall_seconds`` — observed wall window (first span start to last
+      span end, across processes);
+    * ``coverage`` — fraction of that window covered by the union of
+      top-level (depth 0) spans;
+    * ``phases`` — per span name: ``count``, ``total`` (inclusive seconds),
+      ``self`` (exclusive seconds), ``errors``, ``ops`` (summed ``ops``
+      attributes);
+    * ``formats`` — the same aggregation keyed by the spans' ``fmt``
+      attribute (spans without one are skipped).
+    """
+    phases: dict[str, dict] = {}
+    formats: dict[str, dict] = {}
+    top_intervals: list[tuple[float, float]] = []
+    t_min = t_max = None
+    events = 0
+
+    def bucket(table: dict, key: str) -> dict:
+        entry = table.get(key)
+        if entry is None:
+            entry = table[key] = {"count": 0, "total": 0.0, "self": 0.0, "errors": 0, "ops": 0}
+        return entry
+
+    for event in read_events(path):
+        if event.get("ev") != "span":
+            continue
+        events += 1
+        name = str(event.get("name", "?"))
+        dur = float(event.get("dur", 0.0))
+        self_time = float(event.get("self", dur))
+        t0 = float(event.get("t0", 0.0))
+        attrs = event.get("attrs") or {}
+        ops = int(attrs.get("ops", 0) or 0)
+        entry = bucket(phases, name)
+        entry["count"] += 1
+        entry["total"] += dur
+        entry["self"] += self_time
+        entry["ops"] += ops
+        if event.get("error"):
+            entry["errors"] += 1
+        fmt = attrs.get("fmt")
+        if fmt:
+            fentry = bucket(formats, str(fmt))
+            fentry["count"] += 1
+            fentry["total"] += dur
+            fentry["self"] += self_time
+            fentry["ops"] += ops
+            if event.get("error"):
+                fentry["errors"] += 1
+        if t_min is None or t0 < t_min:
+            t_min = t0
+        if t_max is None or t0 + dur > t_max:
+            t_max = t0 + dur
+        if int(event.get("depth", 0)) == 0:
+            top_intervals.append((t0, t0 + dur))
+
+    wall = (t_max - t_min) if (t_min is not None and t_max is not None) else 0.0
+    coverage = (_interval_union(top_intervals) / wall) if wall > 0 else 0.0
+    return {
+        "events": events,
+        "wall_seconds": wall,
+        "coverage": min(coverage, 1.0),
+        "phases": phases,
+        "formats": formats,
+    }
+
+
+def _breakdown_rows(table: dict, wall: float) -> list[list[str]]:
+    rows = []
+    for name, entry in sorted(table.items(), key=lambda kv: -kv[1]["self"]):
+        share = entry["self"] / wall if wall > 0 else 0.0
+        rows.append(
+            [
+                name,
+                str(entry["count"]),
+                f"{entry['total']:.3f}",
+                f"{entry['self']:.3f}",
+                f"{100 * share:.1f}%",
+                str(entry["ops"]) if entry["ops"] else "-",
+                str(entry["errors"]) if entry["errors"] else "-",
+            ]
+        )
+    return rows
+
+
+def render_trace_summary(summary: dict, title: str = "trace summary") -> str:
+    """Render :func:`summarize_trace` output as aligned text tables."""
+    # local import: utils.parallel imports repro.telemetry, so a module-level
+    # import here would close a cycle through repro.utils.__init__
+    from ..utils.textplot import format_table
+
+    headers = ["phase", "count", "total s", "self s", "% wall", "ops", "errors"]
+    lines = [
+        f"{title}: {summary['events']} spans over {summary['wall_seconds']:.3f}s wall, "
+        f"top-level coverage {100 * summary['coverage']:.1f}%",
+        "",
+        format_table(headers, _breakdown_rows(summary["phases"], summary["wall_seconds"]),
+                     title="by phase (span name)"),
+    ]
+    if summary["formats"]:
+        headers[0] = "format"
+        lines.append(
+            format_table(headers, _breakdown_rows(summary["formats"], summary["wall_seconds"]),
+                         title="by format (spans carrying fmt=...)")
+        )
+    return "\n".join(lines)

@@ -26,8 +26,12 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import time
 import traceback
 from typing import Any, Callable, Optional, Sequence
+
+from ..telemetry import core as _telemetry
+from ..telemetry.metrics import metrics as _metrics
 
 __all__ = [
     "default_workers",
@@ -66,11 +70,19 @@ class TaskOutcome:
     error:
         ``traceback.format_exc()`` of the exception that killed the task,
         or ``None`` on success.
+    seconds:
+        Wall time the task spent executing in its worker (success or not).
+    queue_seconds:
+        Wall time between submission by the parent and the worker picking
+        the task up (scheduling latency; 0.0 in the serial path).  Measured
+        across processes with ``time.time``, so it is approximate.
     """
 
     index: int
     value: Any = None
     error: Optional[str] = None
+    seconds: float = 0.0
+    queue_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -103,11 +115,16 @@ class _CaptureCall:
         self.func = func
 
     def __call__(self, indexed_item) -> TaskOutcome:
-        index, item = indexed_item
+        index, item, submitted = indexed_item
+        started = time.time()
+        t0 = time.perf_counter()
         try:
-            return TaskOutcome(index=index, value=self.func(item))
+            outcome = TaskOutcome(index=index, value=self.func(item))
         except Exception:
-            return TaskOutcome(index=index, error=traceback.format_exc())
+            outcome = TaskOutcome(index=index, error=traceback.format_exc())
+        outcome.seconds = time.perf_counter() - t0
+        outcome.queue_seconds = max(0.0, started - submitted)
+        return outcome
 
 
 def parallel_map(
@@ -154,10 +171,14 @@ def parallel_map(
     items = list(items)
     call = _CaptureCall(func)
     outcomes: list[Optional[TaskOutcome]] = [None] * len(items)
+    submitted = time.time()
 
     if workers == 1 or len(items) <= 1:
         for index, item in enumerate(items):
-            outcome = call((index, item))
+            outcome = call((index, item, time.time()))
+            outcome.queue_seconds = 0.0  # serial: no scheduling latency
+            if _telemetry.ENABLED:
+                _record_outcome(outcome)
             if on_result is not None:
                 on_result(outcome)
             outcomes[index] = outcome
@@ -170,14 +191,27 @@ def parallel_map(
     if workers <= 0:
         workers = multiprocessing.cpu_count()
     workers = min(workers, len(items))
+    if _telemetry.ENABLED:
+        _metrics.gauge("parallel.workers").set(workers)
     with multiprocessing.Pool(processes=workers) as pool:
         for outcome in pool.imap_unordered(
-            call, list(enumerate(items)), chunksize=max(1, chunksize)
+            call,
+            [(index, item, submitted) for index, item in enumerate(items)],
+            chunksize=max(1, chunksize),
         ):
+            if _telemetry.ENABLED:
+                _record_outcome(outcome)
             if on_result is not None:
                 on_result(outcome)
             outcomes[outcome.index] = outcome
     return _finalise(outcomes, capture)
+
+
+def _record_outcome(outcome: TaskOutcome) -> None:
+    """Parent-side telemetry for one completed task (caller checks ENABLED)."""
+    _metrics.counter("parallel.tasks", status="ok" if outcome.ok else "failed").inc()
+    _metrics.histogram("parallel.task_seconds").observe(outcome.seconds)
+    _metrics.histogram("parallel.queue_seconds").observe(outcome.queue_seconds)
 
 
 def _finalise(outcomes: list, capture: bool) -> list:

@@ -1,0 +1,357 @@
+"""Tests of the telemetry layer: metrics registry, trace spans, reports.
+
+Covers the observability contract: thread-safe counters, span
+nesting/exception unwinding, the worker shard-file merge (including shards
+of crashed workers), the disabled mode emitting zero events at zero
+allocation, JSONL round-trips tolerating torn lines, and the
+``publish_op_count`` bridge from the compute contexts into the registry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.arithmetic import get_context
+from repro.telemetry import (
+    MetricsRegistry,
+    TelemetryReport,
+    metrics,
+    render_trace_summary,
+    set_enabled,
+    summarize_trace,
+    trace,
+)
+from repro.telemetry import core as telemetry_core
+from repro.utils.parallel import parallel_map
+
+
+@pytest.fixture
+def telemetry_off():
+    """Force-disable telemetry, restoring the previous state afterwards."""
+    previous = set_enabled(False)
+    yield
+    set_enabled(previous)
+
+
+@pytest.fixture
+def telemetry_on(tmp_path):
+    """Enable telemetry with a trace sink under ``tmp_path``.
+
+    Restores the enabled flag, shuts the sink down (popping the exported
+    ``REPRO_TRACE`` environment) and resets the global registry, so tests
+    cannot leak state into each other.
+    """
+    previous = set_enabled(True)
+    previous_env = os.environ.get("REPRO_TELEMETRY")
+    os.environ["REPRO_TELEMETRY"] = "1"  # spawn-method workers read this
+    path = tmp_path / "trace.jsonl"
+    trace.configure(path)
+    metrics.reset()
+    yield str(path)
+    trace.shutdown()
+    metrics.reset()
+    set_enabled(previous)
+    if previous_env is None:
+        os.environ.pop("REPRO_TELEMETRY", None)
+    else:
+        os.environ["REPRO_TELEMETRY"] = previous_env
+
+
+# --------------------------------------------------------------------- #
+# metrics registry
+# --------------------------------------------------------------------- #
+
+
+def test_counter_exact_under_threads(telemetry_on):
+    """Concurrent increments must not lose updates (+= is not atomic)."""
+    registry = MetricsRegistry()
+    counter = registry.counter("race.test", worker="x")
+    threads = 8
+    per_thread = 5000
+
+    def hammer():
+        for _ in range(per_thread):
+            counter.inc()
+
+    pool = [threading.Thread(target=hammer) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    assert counter.value == threads * per_thread
+
+
+def test_registry_keys_values_and_reset(telemetry_on):
+    registry = MetricsRegistry()
+    registry.counter("hits", kind="run").inc(3)
+    registry.counter("hits", kind="reference").inc(2)
+    registry.counter("plain").inc()
+    registry.gauge("mem", unit="bytes").set(42)
+    registry.histogram("lat").observe(0.5)
+    registry.histogram("lat").observe(1.5)
+
+    snap = registry.snapshot()
+    # labels render sorted, Prometheus-style
+    assert snap["counters"]["hits{kind=run}"] == 3
+    assert snap["counters"]["plain"] == 1
+    assert snap["gauges"]["mem{unit=bytes}"] == 42.0
+    assert snap["histograms"]["lat"]["count"] == 2
+    assert snap["histograms"]["lat"]["mean"] == pytest.approx(1.0)
+    assert snap["histograms"]["lat"]["min"] == 0.5
+    assert snap["histograms"]["lat"]["max"] == 1.5
+    # point and prefix lookups
+    assert registry.value("hits", kind="run") == 3
+    assert registry.value("never-touched") == 0
+    assert registry.sum_counters("hits") == 5
+    # snapshot is JSON-able as-is
+    json.dumps(snap)
+
+    registry.reset()
+    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_timer_observes_into_histogram(telemetry_on):
+    registry = MetricsRegistry()
+    with registry.timer("work.seconds"):
+        pass
+    summary = registry.histogram("work.seconds").summary()
+    assert summary["count"] == 1
+    assert summary["sum"] >= 0.0
+
+
+def test_disabled_registry_is_noop(telemetry_off):
+    registry = MetricsRegistry()
+    registry.inc("hits")  # guarded on the module flag
+    assert registry.value("hits") == 0
+    # the shared null timer records nothing and allocates no instrument
+    timer = registry.timer("work.seconds")
+    with timer:
+        pass
+    assert registry.snapshot()["histograms"] == {}
+    assert registry.timer("other") is timer  # one shared no-op object
+
+
+# --------------------------------------------------------------------- #
+# trace spans
+# --------------------------------------------------------------------- #
+
+
+def test_disabled_span_is_shared_null_and_emits_nothing(tmp_path, telemetry_off):
+    path = tmp_path / "trace.jsonl"
+    trace.configure(path)
+    try:
+        s1 = trace.span("a")
+        s2 = trace.span("b", fmt="bfloat16")
+        assert s1 is s2  # one shared no-op object, no allocation
+        with s1:
+            with trace.span("nested"):
+                pass
+        assert list(trace.read_events(path)) == []
+    finally:
+        trace.shutdown()
+
+
+def test_span_nesting_depth_and_self_time(telemetry_on):
+    with trace.span("outer", fmt="bfloat16") as outer:
+        with trace.span("inner"):
+            pass
+        outer.set(extra=7)
+    events = {e["name"]: e for e in trace.read_events(telemetry_on)}
+    assert set(events) == {"outer", "inner"}
+    assert events["inner"]["depth"] == 1
+    assert events["outer"]["depth"] == 0
+    # the parent's self time excludes the child's inclusive time
+    assert events["outer"]["self"] <= events["outer"]["dur"]
+    assert events["outer"]["dur"] >= events["inner"]["dur"]
+    assert events["outer"]["attrs"] == {"fmt": "bfloat16", "extra": 7}
+    assert "error" not in events["outer"]
+
+
+def test_span_exception_unwinding(telemetry_on):
+    with pytest.raises(ValueError, match="boom"):
+        with trace.span("outer"):
+            with trace.span("inner"):
+                raise ValueError("boom")
+    events = list(trace.read_events(telemetry_on))
+    # both spans are emitted (inner first: exit order) and flagged
+    assert [e["name"] for e in events] == ["inner", "outer"]
+    assert all(e["error"] for e in events)
+    # the thread-local stack unwound completely: a new span starts at depth 0
+    with trace.span("after"):
+        pass
+    after = [e for e in trace.read_events(telemetry_on) if e["name"] == "after"]
+    assert after[0]["depth"] == 0
+    assert "error" not in after[0]
+
+
+def _span_task(item):
+    """Module-level worker task: one span, crashing on request."""
+    with trace.span("task.work", item=item):
+        if item == "crash":
+            raise RuntimeError("worker crash")
+    return item
+
+
+def test_worker_shards_merge_after_crash(telemetry_on):
+    """Spans of parallel workers collate into the main file — crashed
+    workers' flushed spans included (the store's crash-capture contract)."""
+    outcomes = parallel_map(_span_task, ["a", "crash", "b"], workers=2, capture=True)
+    assert [o.ok for o in outcomes] == [True, False, True]
+    assert "worker crash" in outcomes[1].error
+    assert all(o.seconds >= 0.0 for o in outcomes)
+
+    merged = trace.collate()
+    assert merged >= 1  # at least one worker shard existed
+    assert not any(
+        name.startswith("trace.jsonl.w")
+        for name in os.listdir(os.path.dirname(telemetry_on))
+    )  # shards are consumed by the merge
+    events = [e for e in trace.read_events(telemetry_on) if e["name"] == "task.work"]
+    assert len(events) == 3  # the crashed task's span was flushed before dying
+    assert {e["attrs"]["item"] for e in events} == {"a", "crash", "b"}
+    crashed = [e for e in events if e["attrs"]["item"] == "crash"]
+    assert crashed[0].get("error") is True
+    assert all(e["pid"] != os.getpid() for e in events)  # all ran in workers
+    # parent-side executor metrics recorded both outcomes
+    assert metrics.value("parallel.tasks", status="ok") == 2
+    assert metrics.value("parallel.tasks", status="failed") == 1
+
+
+def test_read_events_tolerates_torn_lines(tmp_path):
+    path = tmp_path / "torn.jsonl"
+    good = {"ev": "span", "name": "ok", "t0": 1.0, "dur": 0.5, "depth": 0}
+    path.write_text(
+        json.dumps(good) + "\n"
+        + "{not json\n"
+        + "\n"
+        + '"a bare string"\n'
+        + json.dumps(good)[: len(json.dumps(good)) // 2]  # torn final line
+    )
+    events = list(trace.read_events(path))
+    assert events == [good]
+
+
+# --------------------------------------------------------------------- #
+# summariser and report
+# --------------------------------------------------------------------- #
+
+
+def _write_trace(path, events):
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+
+
+def test_summarize_trace_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    _write_trace(
+        path,
+        [
+            {"ev": "span", "name": "solve", "pid": 1, "t0": 100.0, "dur": 2.0,
+             "self": 1.5, "depth": 0, "attrs": {"fmt": "bfloat16", "ops": 10}},
+            {"ev": "span", "name": "ql", "pid": 1, "t0": 100.2, "dur": 0.5,
+             "self": 0.5, "depth": 1, "attrs": {"fmt": "bfloat16"}},
+            {"ev": "span", "name": "solve", "pid": 2, "t0": 103.0, "dur": 1.0,
+             "self": 1.0, "depth": 0, "error": True},
+            {"ev": "other", "name": "ignored"},
+        ],
+    )
+    summary = summarize_trace(path)
+    assert summary["events"] == 3
+    # observed window 100.0..104.0; top-level union [100,102] + [103,104]
+    assert summary["wall_seconds"] == pytest.approx(4.0)
+    assert summary["coverage"] == pytest.approx(3.0 / 4.0)
+    assert summary["phases"]["solve"]["count"] == 2
+    assert summary["phases"]["solve"]["ops"] == 10
+    assert summary["phases"]["solve"]["errors"] == 1
+    assert summary["phases"]["ql"]["total"] == pytest.approx(0.5)
+    assert summary["formats"]["bfloat16"]["count"] == 2
+
+    text = render_trace_summary(summary, title="t")
+    assert "solve" in text and "bfloat16" in text
+    assert "75.0%" in text  # the coverage line
+
+
+def test_summarize_empty_trace(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    summary = summarize_trace(path)
+    assert summary == {
+        "events": 0,
+        "wall_seconds": 0.0,
+        "coverage": 0.0,
+        "phases": {},
+        "formats": {},
+    }
+    assert "0 spans" in render_trace_summary(summary)
+
+
+def test_telemetry_report_to_dict():
+    report = TelemetryReport(wall_seconds=1.5, cache_hit_ratio=0.25,
+                             metrics={"counters": {}}, trace_file="t.jsonl")
+    body = report.to_dict()
+    assert body == {
+        "wall_seconds": 1.5,
+        "cache_hit_ratio": 0.25,
+        "metrics": {"counters": {}},
+        "trace_file": "t.jsonl",
+    }
+    json.dumps(body)
+
+
+# --------------------------------------------------------------------- #
+# compute-context bridge
+# --------------------------------------------------------------------- #
+
+
+def test_publish_op_count_flushes_delta(telemetry_on):
+    ctx = get_context("bfloat16")
+    ctx.publish_op_count()  # flush whatever earlier tests left pending
+    metrics.reset()
+    before = ctx.op_count
+    a = ctx.wrap(np.ones(8, dtype=ctx.dtype))
+    _ = a + a  # 8 rounded additions
+    delta = ctx.publish_op_count()
+    assert delta == ctx.op_count - before >= 8
+    assert metrics.value("ops.rounded", format=ctx.name) == delta
+    # re-publish without new work: counts survive, nothing double-counts
+    assert ctx.publish_op_count() == 0
+    assert metrics.value("ops.rounded", format=ctx.name) == delta
+
+
+def test_publish_op_count_disabled_still_tracks_delta(telemetry_off):
+    ctx = get_context("posit16")
+    ctx.publish_op_count()
+    before_ops = ctx.op_count
+    a = ctx.wrap(np.ones(4, dtype=ctx.dtype))
+    _ = a + a
+    assert ctx.publish_op_count() == ctx.op_count - before_ops > 0
+    assert metrics.value("ops.rounded", format=ctx.name) == 0  # registry untouched
+
+
+def test_dispatch_counters_record_format_and_path(telemetry_on):
+    metrics.reset()
+    ctx = get_context("bfloat16")
+    ctx.round(np.linspace(-2.0, 2.0, 64))
+    assert metrics.sum_counters("rounding.dispatch") >= 1
+    snapshot = metrics.snapshot()["counters"]
+    assert any(
+        key.startswith("rounding.dispatch{") and "format=bfloat16" in key
+        for key in snapshot
+    )
+
+
+def test_enabled_flag_round_trip():
+    previous = telemetry_core.ENABLED
+    try:
+        assert set_enabled(True) == previous
+        assert telemetry_core.ENABLED is True
+        assert set_enabled(False) is True
+        assert telemetry_core.ENABLED is False
+    finally:
+        set_enabled(previous)

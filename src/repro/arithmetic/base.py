@@ -66,11 +66,14 @@ WIDE_SCALAR_CUTOFF = 24
 
 #: whether ``numpy.longdouble`` carries more significand bits than float64
 #: on this platform.  On Windows and most ARM builds longdouble *is*
-#: float64, which silently breaks the extended-precision emulation of the
-#: 64-bit posit/takum formats (their value space needs > 52 significand
-#: bits); :func:`require_extended_longdouble` warns when such a format is
-#: constructed, and the affected tests skip via the capability marker in
-#: ``tests/conftest.py``.
+#: float64; the 64-bit posit/takum formats then construct with a float64
+#: work dtype (their one-word bit kernels serve them there, with identity
+#: binades where the format grid is finer than float64's) instead of
+#: pretending to an extended precision the platform cannot deliver.  The
+#: tests that need genuine extended precision skip via the capability
+#: marker in ``tests/conftest.py``; the forced-fallback tests simulate the
+#: degraded platforms by monkeypatching this flag before constructing a
+#: format.
 LONGDOUBLE_EXTENDED = np.finfo(np.longdouble).nmant > np.finfo(np.float64).nmant
 
 _LONGDOUBLE_WARNED = False
@@ -113,10 +116,13 @@ _metrics.register_flusher(_flush_dispatch_tally)
 def require_extended_longdouble(format_name: str) -> bool:
     """Check the extended-precision capability for ``format_name``.
 
-    Returns ``True`` when ``numpy.longdouble`` is wider than float64.  When
-    it is not (Windows/ARM), emits a single clear ``RuntimeWarning`` naming
-    the degraded formats — their emulation then silently loses the
-    sub-float64 significand bits — and returns ``False``.
+    Returns ``True`` when ``numpy.longdouble`` is wider than float64; emits
+    a single ``RuntimeWarning`` and returns ``False`` otherwise.
+
+    Retained for external callers that want the loud capability probe; the
+    64-bit posit/takum formats no longer call it — they degrade cleanly to
+    a float64 work dtype (served bit-exactly by the one-word kernels)
+    instead of warning about a precision they silently lost.
     """
     global _LONGDOUBLE_WARNED
     if LONGDOUBLE_EXTENDED:
@@ -367,18 +373,18 @@ class NumberFormat(ABC):
         """The active integer bit kernel for this format, or ``None``.
 
         Built lazily once per format instance; gated on the global
-        :func:`repro.arithmetic.bitkernels.set_enabled` switch and on the
-        work dtype (the kernels operate on float64 words, so the
-        extended-precision 64-bit posit/takum formats keep their longdouble
-        analytic fallback).
+        :func:`repro.arithmetic.bitkernels.set_enabled` switch.  The format
+        picks the kernel flavour in :meth:`_build_bitkernel`: float64-work
+        formats get the one-word kernels, the extended-precision 64-bit
+        posit/takum formats get the two-word kernels operating on the
+        80-bit longdouble memory layout (``None`` on hosts whose longdouble
+        is neither that layout nor plain float64).
         """
         if not _bitkernels.bitkernels_enabled():
             return None
         kern = self.__dict__.get("_bitkernel_obj", _UNSET)
         if kern is _UNSET:
-            kern = None
-            if np.dtype(self.work_dtype) == np.dtype(np.float64):
-                kern = self._build_bitkernel()
+            kern = self._build_bitkernel()
             self._bitkernel_obj = kern
         return kern
 
@@ -411,7 +417,7 @@ class NumberFormat(ABC):
         if table is not None:
             return table.decode_values(codes)
         kern = self.bitkernel()
-        if kern is not None:
+        if kern is not None and kern.supports_codec:
             return kern.decode(codes)
         codes = np.asarray(codes, dtype=np.uint64)
         out = np.empty(codes.shape, dtype=self.work_dtype)
@@ -443,7 +449,7 @@ class NumberFormat(ABC):
             # encode the representable results through the table
             return table.encode_representable(self.round_array(values))
         kern = self.bitkernel()
-        if kern is not None:
+        if kern is not None and kern.supports_codec:
             return kern.encode(self.round_array(values))
         return self.encode_analytic(values)
 

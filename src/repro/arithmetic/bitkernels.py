@@ -1,30 +1,48 @@
-"""Integer bit-twiddling rounding engine shared by every float64-work format.
+"""Integer bit-twiddling rounding engine shared by every emulated format.
 
 The analytic vector kernels of the posit/takum/IEEE format families each run
 a chain of ~25 NumPy float passes (``frexp``, ``floor_divide``, ``ldexp``,
 ``rint``, divisions, ``np.where`` ladders) per ``round_array`` call.  This
 module replaces those chains with **one** family-parameterized integer kernel
-that views the float64 work array as ``uint64`` words and performs
+that views the work array as unsigned integer words and performs
 round-to-nearest-even entirely in integer arithmetic:
 
-* For every float64 binade, the number of work-significand bits a format
-  retains is a pure function of the 11-bit exponent field (the mantissa
+* For every work binade, the number of work-significand bits a format
+  retains is a pure function of the exponent field (the mantissa
   length taper of posits/takums, the constant significand of IEEE formats,
-  the gradual-underflow taper of IEEE subnormals).  A 4096-entry lookup
-  table over the **sign+exponent field** (``word >> 52``) therefore yields,
-  per element, the truncation shift ``s`` and the rounding bias
-  ``2^(s-1) - 1``; the whole rounding step is then the classic integer RNE
-  transform ``((u + bias + lsb) >> s) << s`` with ``lsb = (u >> s) & 1``
-  breaking ties towards the even retained word.  The transform operates on
-  the *full* word, sign bit included: in the binades the LUT serves, the
-  carry of a round-up can reach the exponent field (that is exactly how a
-  binade boundary rounds up) but provably never the sign bit.
+  the gradual-underflow taper of IEEE subnormals).  A lookup table over the
+  **sign+exponent field** (4096 entries for float64 words, 65536 for the
+  80-bit extended words) therefore yields, per element, the truncation
+  shift ``s`` and the rounding bias ``2^(s-1) - 1``; the whole rounding
+  step is then the classic integer RNE transform
+  ``((u + bias + lsb) >> s) << s`` with ``lsb = (u >> s) & 1`` breaking
+  ties towards the even retained word.  For float64 work arrays the
+  transform operates on the *full* word, sign bit included: in the binades
+  the LUT serves, the carry of a round-up can reach the exponent field
+  (that is exactly how a binade boundary rounds up) but provably never the
+  sign bit.
+
+* The 64-bit posit/takum formats work in 80-bit x87 extended precision
+  (``numpy.longdouble``), whose 16-byte memory layout is **two** uint64
+  words: a full 64-bit significand with an explicit integer bit, and a
+  sign + 15-bit-exponent word (the remaining six bytes are unspecified
+  padding).  :class:`ExtendedBitKernel` runs the same RNE transform on the
+  significand word alone — magnitudes round independently of the sign — and
+  handles the binade-boundary carry manually: the uint64 add wraps exactly
+  when the rounded significand is ``2^64``, in which case the result is
+  significand ``2^63`` with the exponent word incremented.  No longdouble
+  float operation is involved; the kernel is pure integer arithmetic over
+  the extended representation.
 
 * Binades where the representable values are **not** a uniform power-of-two
   grid — posit/takum extreme regimes, IEEE overflow and deep-subnormal
   binades, zeros, infinities and NaNs — are marked *special* in the LUT and
   resolved by the format's preserved analytic kernel on the (rare) masked
   elements, which keeps the fast path bit-identical by construction.
+  Binades where the format grid is at least as *fine* as the work grid
+  (possible when a 64-bit format degrades to float64 work precision on
+  hosts without extended longdouble) are marked *identity* and copied
+  through unchanged.
 
 The kernels allocate nothing per call beyond a small per-size scratch set
 (reused across calls) and support writing the result into a caller-provided
@@ -106,6 +124,10 @@ __all__ = [
     "E4M3BitKernel",
     "PositBitKernel",
     "TakumBitKernel",
+    "ExtendedBitKernel",
+    "PositExtendedBitKernel",
+    "TakumExtendedBitKernel",
+    "extended_layout_supported",
     "set_enabled",
     "bitkernels_enabled",
 ]
@@ -114,6 +136,12 @@ _U = np.uint64
 _ONE = _U(1)
 _MAG64 = _U(0x7FFFFFFFFFFFFFFF)
 _MANT52 = _U(0x000FFFFFFFFFFFFF)
+#: extended-layout significand of 1.0 in the next binade up (carry target)
+_EXT_TOP = _U(1 << 63)
+
+#: special-LUT codes: resolve through the analytic kernel / copy through
+_SPECIAL_RESOLVE = 1
+_SPECIAL_IDENTITY = 2
 
 #: scratch sets cached per kernel (bounded; see BitKernel._scratch_for)
 _MAX_SCRATCH_SIZES = 8
@@ -146,6 +174,21 @@ def bitkernels_enabled() -> bool:
     return _ENABLED
 
 
+def extended_layout_supported() -> bool:
+    """Whether ``numpy.longdouble`` is the 80-bit x87 format in 16-byte slots.
+
+    That is the two-word (significand word + sign/exponent word) memory
+    layout the extended kernels operate on.  False where longdouble is plain
+    float64 (Windows, most ARM builds), IEEE binary128, or the 12-byte ix86
+    layout — those hosts keep the analytic fallback (or, when longdouble
+    degenerates to float64, the one-word float64 kernels).
+    """
+    return (
+        np.finfo(np.longdouble).nmant == 63
+        and np.dtype(np.longdouble).itemsize == 16
+    )
+
+
 class BitKernel:
     """Family-parameterized integer round/encode/decode kernel.
 
@@ -169,36 +212,55 @@ class BitKernel:
     #: rounds to ``+0.0``) or keeps the sign of zero (IEEE families)
     unsigned_zero = False
 
+    #: work-word layout: exponent-field width, exponent bias and fraction
+    #: bits of the word the kernel transforms (float64 by default; the
+    #: extended kernels override all three for the 80-bit x87 layout)
+    WORD_EXP_BITS = 11
+    WORD_BIAS = 1023
+    WORD_FRAC_BITS = 52
+    #: whether the family's vectorised decode/encode twins serve this
+    #: kernel's word layout (the extended kernels have none: the 64-bit
+    #: formats keep their per-element codecs)
+    supports_codec = True
+
     def __init__(self, bits: int, resolve: Callable[[np.ndarray], np.ndarray]):
         self.bits = int(bits)
         self._resolve = resolve
         self._scratch: dict[int, tuple] = {}
-        shift = np.ones(4096, dtype=_U)
-        bias = np.zeros(4096, dtype=_U)
-        special = np.zeros(4096, dtype=np.uint8)
-        for exp_field in range(2048):
+        exp_fields = 1 << self.WORD_EXP_BITS
+        frac_bits = self.WORD_FRAC_BITS
+        shift = np.ones(2 * exp_fields, dtype=_U)
+        bias = np.zeros(2 * exp_fields, dtype=_U)
+        special = np.zeros(2 * exp_fields, dtype=np.uint8)
+        for exp_field in range(exp_fields):
             keep = None
-            if 0 < exp_field < 0x7FF:  # zeros/subnormals and inf/NaN: special
-                keep = self._keep_bits(exp_field - 1023)
-            for idx in (exp_field, exp_field + 2048):  # mirror the sign half
+            if 0 < exp_field < exp_fields - 1:  # zeros/subnormals, inf/NaN
+                keep = self._keep_bits(exp_field - self.WORD_BIAS)
+            for idx in (exp_field, exp_field + exp_fields):  # mirror the sign half
                 if keep is None:
-                    special[idx] = 1
+                    special[idx] = _SPECIAL_RESOLVE
+                elif keep >= frac_bits:
+                    # the format grid is at least as fine as the work grid in
+                    # this binade (a 64-bit format degraded to float64 work
+                    # precision): every work value is already representable
+                    # and copies through unchanged.  keep == frac_bits would
+                    # need s = 0, where the RNE transform degenerates (lsb
+                    # must not be added), so it lands here too.
+                    special[idx] = _SPECIAL_IDENTITY
                 else:
-                    # keep == 52 would need s = 0, where the RNE transform
-                    # degenerates (lsb must not be added); no format gets
-                    # near it, so it is excluded rather than special-cased
-                    if not 1 <= keep <= 51:
+                    if keep < 1:
                         raise ValueError(
-                            f"{type(self).__name__}: keep={keep} out of the "
-                            "parity/shift-safe range [1, 51] for exponent "
-                            f"{exp_field - 1023}"
+                            f"{type(self).__name__}: keep={keep} below the "
+                            "parity-safe minimum of 1 for exponent "
+                            f"{exp_field - self.WORD_BIAS}"
                         )
-                    s = 52 - keep
+                    s = frac_bits - keep
                     shift[idx] = s
                     bias[idx] = (1 << (s - 1)) - 1
         self._shift = shift
         self._bias = bias
         self._special = special
+        self._has_identity = bool(np.any(special == _SPECIAL_IDENTITY))
 
     # ------------------------------------------------------------------ #
     # family hooks
@@ -282,7 +344,18 @@ class BitKernel:
         self._special.take(idx_i, out=spec)
         resolved = peeled = 0
         if spec.any():
-            mask = spec.view(bool)
+            if self._has_identity:
+                # identity binades (format grid at least as fine as the
+                # work grid): the input word passes through unchanged
+                np.copyto(acc, u, where=spec == _SPECIAL_IDENTITY)
+                mask = spec == _SPECIAL_RESOLVE
+                need_resolve = bool(mask.any())
+            else:
+                mask = spec.view(bool)
+                need_resolve = True
+        else:
+            need_resolve = False
+        if need_resolve:
             sub = flat[mask]
             nonzero = sub != 0.0
             if nonzero.all():
@@ -318,10 +391,11 @@ class BitKernel:
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        served = int(np.count_nonzero(self._special[:2048] == 0))
+        half = len(self._special) // 2
+        served = int(np.count_nonzero(self._special[:half] == 0))
         return (
             f"<{type(self).__name__} {self.family!r} ({self.bits} bits, "
-            f"{served}/2048 binades integer-served)>"
+            f"{served}/{half} binades integer-served)>"
         )
 
 
@@ -675,3 +749,154 @@ class TakumBitKernel(BitKernel):
         # infinite inputs and NaN alike encode as NaR
         code = np.where(m >= _U(0x7FF0000000000000), _U(1 << (n - 1)), code)
         return code.astype(_U)
+
+
+class ExtendedBitKernel(BitKernel):
+    """Two-word rounding kernel for 80-bit extended (x87) work arrays.
+
+    ``numpy.longdouble`` on x86 stores each value in 16 bytes: a uint64
+    significand word with an **explicit** integer bit at position 63,
+    followed by a word whose low 16 bits are the sign bit and the 15-bit
+    biased exponent (bias 16383) — the remaining six bytes are unspecified
+    padding that must be masked on read and is written as zeros on output.
+
+    The RNE transform runs on the significand word alone (magnitude rounding
+    is sign-independent; the parity of the retained word still decides
+    ties).  Unlike the one-word float64 kernels, a round-up out of the top
+    of a binade cannot carry into the exponent automatically: the uint64 add
+    wraps exactly when the rounded significand is ``2^64`` (the bias plus
+    tie bit never exceed ``2^(s-1)``, so the add wraps at most once and the
+    wrapped, truncated word is provably 0), and the kernel then rewrites the
+    element as significand ``2^63`` with the exponent word incremented —
+    which never reaches the sign bit in a LUT-served binade.
+
+    Subclasses combine this mixin with a format family
+    (``class PositExtendedBitKernel(ExtendedBitKernel, PositBitKernel)``):
+    the family contributes ``_keep_bits`` and the special-binade policy,
+    this class contributes the word layout and the two-word ``round``.  The
+    family codecs are float64-word specific, so :attr:`supports_codec` is
+    False and the 64-bit formats keep their per-element decode/encode.
+    """
+
+    WORD_EXP_BITS = 15
+    WORD_BIAS = 16383
+    WORD_FRAC_BITS = 63
+    supports_codec = False
+
+    #: sign + 15-bit exponent; everything above is padding garbage
+    _HI_MASK = _U(0xFFFF)
+
+    def decode(self, codes) -> np.ndarray:
+        raise NotImplementedError(
+            "extended kernels have no vectorised codec; use the format's "
+            "per-element decode"
+        )
+
+    def encode(self, values) -> np.ndarray:
+        raise NotImplementedError(
+            "extended kernels have no vectorised codec; use the format's "
+            "per-element encode"
+        )
+
+    def _scratch_for(self, size: int) -> tuple:
+        bufs = self._scratch.get(size)
+        if bufs is None:
+            bufs = (
+                np.empty(size, dtype=_U),  # masked exponent word / LUT index
+                np.empty(size, dtype=_U),  # per-element shift
+                np.empty(size, dtype=_U),  # lsb / scratch
+                np.empty(size, dtype=_U),  # significand accumulator
+                np.empty(size, dtype=_U),  # exponent-word accumulator
+                np.empty(size, dtype=bool),  # significand carry-out
+                np.empty(size, dtype=np.uint8),  # special mask
+                np.empty(2 * size, dtype=_U),  # interleaved output words
+            )
+            if size <= _MAX_SCRATCH_ELEMENTS:  # don't pin memory for huge calls
+                if len(self._scratch) >= _MAX_SCRATCH_SIZES:
+                    self._scratch.clear()
+                self._scratch[size] = bufs
+            if _telemetry.ENABLED:
+                key = (self.family, "alloc")
+                _scratch_tally[key] = _scratch_tally.get(key, 0) + 1
+        elif _telemetry.ENABLED:
+            key = (self.family, "reuse")
+            _scratch_tally[key] = _scratch_tally.get(key, 0) + 1
+        return bufs
+
+    def round(self, values: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Round longdouble ``values`` to the format, bit-identical to the
+        analytic kernel (same contract as :meth:`BitKernel.round`, with
+        ``numpy.longdouble`` in place of float64)."""
+        x = np.asarray(values, dtype=np.longdouble)
+        flat = x.ravel()  # view when contiguous, copy otherwise
+        u = flat.view(_U)  # [sig0, exp0, sig1, exp1, ...] (little-endian)
+        lo = u[0::2]
+        hi = u[1::2]
+        idx, shift, lsb, acc, hexp, wrap, spec, pair = self._scratch_for(flat.size)
+        np.bitwise_and(hi, self._HI_MASK, out=idx)  # drop the padding bytes
+        idx_i = idx.view(np.int64)  # free reinterpret; values are < 65536
+        self._shift.take(idx_i, out=shift)
+        # RNE on the significand word: ((lo + (half - 1) + lsb) >> s) << s
+        np.right_shift(lo, shift, out=lsb)
+        np.bitwise_and(lsb, _ONE, out=lsb)
+        self._bias.take(idx_i, out=acc)
+        np.add(acc, lo, out=acc)
+        np.add(acc, lsb, out=acc)
+        np.less(acc, lo, out=wrap)  # uint64 wrap == carry out of the binade
+        np.right_shift(acc, shift, out=acc)
+        np.left_shift(acc, shift, out=acc)
+        np.add(idx, wrap, out=hexp)  # exponent + 1 on carry
+        np.copyto(acc, _EXT_TOP, where=wrap)  # significand 1.0 next binade up
+        self._special.take(idx_i, out=spec)
+        resolved = peeled = 0
+        if spec.any():
+            mask = spec.view(bool)
+            sub = flat[mask]
+            nonzero = sub != 0.0
+            if nonzero.all():
+                rw = np.ascontiguousarray(self._resolve(sub)).view(_U)
+                acc[mask] = rw[0::2]
+                hexp[mask] = rw[1::2] & self._HI_MASK
+                resolved = sub.size
+            else:
+                # exact zeros are by far the most common "special" in solver
+                # data; peel them off inline instead of paying an
+                # analytic-kernel call
+                rlo = lo[mask]
+                rhi = idx[mask]
+                if self.unsigned_zero:
+                    rhi[~nonzero] = _U(0)  # -0.0 rounds to +0.0
+                if nonzero.any():
+                    nz = sub[nonzero]
+                    rw = np.ascontiguousarray(self._resolve(nz)).view(_U)
+                    rlo[nonzero] = rw[0::2]
+                    rhi[nonzero] = rw[1::2] & self._HI_MASK
+                    resolved = nz.size
+                peeled = sub.size - resolved
+                acc[mask] = rlo
+                hexp[mask] = rhi
+        if _telemetry.ENABLED:
+            key = (self.family, self.bits)
+            entry = _round_tally.get(key)
+            if entry is None:
+                entry = _round_tally[key] = [0, 0, 0]
+            entry[0] += flat.size
+            entry[1] += resolved
+            entry[2] += peeled
+        # reassemble into canonical 16-byte slots: the padding bytes of
+        # every output word are written as zeros (the input padding is
+        # unspecified memory and must not leak into results)
+        pair[0::2] = acc
+        pair[1::2] = hexp
+        if out is None:
+            out = np.empty(x.shape, dtype=np.longdouble)
+        np.copyto(out, pair.view(np.longdouble).reshape(x.shape))
+        return out
+
+
+class PositExtendedBitKernel(ExtendedBitKernel, PositBitKernel):
+    """Posit kernel on the extended two-word layout (serves posit64)."""
+
+
+class TakumExtendedBitKernel(ExtendedBitKernel, TakumBitKernel):
+    """Takum kernel on the extended two-word layout (serves takum64)."""

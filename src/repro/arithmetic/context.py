@@ -465,29 +465,86 @@ class ComputeContext(ABC):
 
         The pairwise strategy reduces adjacent pairs level by level (a
         balanced tree, matching Julia's pairwise summation); the sequential
-        strategy accumulates left to right.
+        strategy accumulates left to right.  Only the first reduction level
+        allocates — the caller's array is never modified — and the
+        remaining levels run in place on that buffer
+        (:meth:`_reduce_last_axis_inplace`), so an m-way reduction costs one
+        buffer instead of ``log2(m)`` of them.
         """
         v = np.asarray(values, dtype=self.dtype)
         v = np.moveaxis(v, axis, -1)
-        if v.shape[-1] == 0:
+        m = v.shape[-1]
+        if m == 0:
             return np.zeros(v.shape[:-1], dtype=self.dtype)
-        if self.accumulation == "pairwise":
-            while v.shape[-1] > 1:
-                m = v.shape[-1]
-                half = m // 2
-                paired = self.add(v[..., 0 : 2 * half : 2], v[..., 1 : 2 * half : 2])
-                if m % 2:
-                    paired = np.concatenate([paired, v[..., -1:]], axis=-1)
-                v = paired
+        if m == 1:
             return v[..., 0]
-        acc = v[..., 0]
-        for j in range(1, v.shape[-1]):
-            acc = self.add(acc, v[..., j])
-        return acc
+        if self.accumulation == "pairwise":
+            half = m // 2
+            buf = self.add(v[..., 0 : 2 * half : 2], v[..., 1 : 2 * half : 2])
+            if m % 2:
+                buf = np.concatenate([buf, v[..., -1:]], axis=-1)
+            return self._reduce_last_axis_inplace(buf)
+        if v.ndim == 1:
+            acc = v[0]
+            for j in range(1, m):
+                acc = self.add(acc, v[j])
+            return acc
+        buf = self.add(v[..., 0], v[..., 1])
+        for j in range(2, m):
+            self.add(buf, v[..., j], out=buf)
+        return buf
+
+    def _reduce_last_axis_inplace(self, buf: np.ndarray) -> np.ndarray:
+        """Reduce an *owned* buffer along its last axis, mutating it.
+
+        ``buf`` must be a work-dtype array this context allocated itself
+        (the rounded-products buffer of :meth:`dot`/:meth:`gemv`/
+        :meth:`gemm`, or the first pairwise level of :meth:`reduce_sum`) —
+        callers donate it and must not rely on its contents afterwards.
+
+        Pairwise levels pair live partials in place on a doubling stride:
+        at stride ``step`` the partials sit at positions ``j * step``, each
+        ``add`` writes the even slots, and an odd leftover at
+        ``(count - 1) * step`` is already on the doubled stride, so the
+        pairing order — and therefore every intermediate rounding — is
+        identical to reducing into freshly concatenated buffers.  The
+        sequential strategy accumulates into the first slot (1-D keeps the
+        pure-scalar loop of the scalar hot path).
+        """
+        m = buf.shape[-1]
+        if m == 0:
+            return np.zeros(buf.shape[:-1], dtype=self.dtype)
+        if m > 1:
+            if self.accumulation == "pairwise":
+                step, count = 1, m
+                while count > 1:
+                    half = count // 2
+                    even = buf[..., 0 : 2 * half * step : 2 * step]
+                    odd = buf[..., step : 2 * half * step : 2 * step]
+                    self.add(even, odd, out=even)
+                    count = half + (count & 1)
+                    step *= 2
+            elif buf.ndim == 1:
+                acc = buf[0]
+                for j in range(1, m):
+                    acc = self.add(acc, buf[j])
+                return acc
+            else:
+                acc = buf[..., 0]
+                for j in range(1, m):
+                    self.add(acc, buf[..., j], out=acc)
+        if buf.ndim == 1:
+            return buf[0]
+        # a view of column 0 would pin the whole donated buffer alive
+        return np.ascontiguousarray(buf[..., 0])
 
     def dot(self, x, y):
-        """Inner product with rounded products and rounded accumulation."""
-        return self.reduce_sum(self.mul(x, y))
+        """Inner product with rounded products and rounded accumulation.
+
+        The rounded-products buffer is donated to the in-place reduction,
+        so the whole contraction allocates once.
+        """
+        return self._reduce_last_axis_inplace(self.mul(x, y))
 
     def norm2(self, x):
         """Euclidean norm built from rounded operations.
@@ -512,16 +569,34 @@ class ComputeContext(ABC):
         """Unscaled Euclidean norm ``sqrt(dot(x, x))`` (ablation variant)."""
         return self.sqrt(self.dot(x, x))
 
-    def axpy(self, alpha, x, y):
+    def axpy(self, alpha, x, y, out=None):
         """``y + alpha * x`` with per-operation rounding.
 
-        The product buffer is reused as the sum's output, so the whole
-        update costs one allocation.
+        Without ``out`` the product buffer is reused as the sum's output,
+        so the whole update costs one allocation.  With ``out`` the update
+        is fully fused — the product is computed straight into ``out`` and
+        the sum rounds in place, touching memory once per element with no
+        temporary at all.  ``out`` may alias ``x`` or ``y`` elementwise
+        (e.g. ``axpy(a, x, y, out=y)``); when it aliases ``y`` the product
+        falls back to a fresh buffer so the addend is not clobbered before
+        it is read.
         """
+        if (
+            out is not None
+            and isinstance(out, np.ndarray)
+            and not _is_scalar(x)
+            and not np.may_share_memory(out, np.asarray(y))
+        ):
+            t = self.mul(alpha, x, out=out)
+            return self.add(y, t, out=out)
         t = self.mul(alpha, x)
         if isinstance(t, np.ndarray):
-            return self.add(y, t, out=t)
-        return self.add(y, t)
+            return self.add(y, t, out=t if out is None else out)
+        res = self.add(y, t)
+        if out is None or not isinstance(res, np.ndarray):
+            return res
+        out[...] = res
+        return out
 
     def scale(self, alpha, x):
         """``alpha * x`` elementwise."""
@@ -537,7 +612,7 @@ class ComputeContext(ABC):
         if M.shape[1] == 0:
             return np.zeros(M.shape[0], dtype=self.dtype)
         prods = self.mul(M, x[np.newaxis, :])
-        return self.reduce_sum(prods, axis=-1)
+        return self._reduce_last_axis_inplace(prods)
 
     def gemv_t(self, M, x):
         """Dense transposed matrix-vector product ``M.T @ x``."""
@@ -546,7 +621,7 @@ class ComputeContext(ABC):
         if M.shape[0] == 0:
             return np.zeros(M.shape[1], dtype=self.dtype)
         prods = self.mul(M.T, x[np.newaxis, :])
-        return self.reduce_sum(prods, axis=-1)
+        return self._reduce_last_axis_inplace(prods)
 
     def gemm(self, A, B):
         """Dense matrix-matrix product with per-operation rounding.
@@ -561,7 +636,7 @@ class ComputeContext(ABC):
         if A.shape[1] == 0:
             return np.zeros((A.shape[0], B.shape[1]), dtype=self.dtype)
         prods = self.mul(A[:, :, np.newaxis], B[np.newaxis, :, :])
-        return self.reduce_sum(prods, axis=1)
+        return self._reduce_last_axis_inplace(np.moveaxis(prods, 1, -1))
 
     # ------------------------------------------------------------------ #
     # sparse kernel

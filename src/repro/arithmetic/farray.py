@@ -824,6 +824,25 @@ class FArray:
         """Overflow-safe rounded Euclidean norm (:meth:`ComputeContext.norm2`)."""
         return _wrap(self.ctx, self.ctx.norm2(self.data))
 
+    def axpy(self, alpha, x) -> "FArray":
+        """Fused rounded update ``self + alpha * x``.
+
+        Element-for-element identical to ``self + alpha * x`` written as
+        two operator calls, but the product buffer doubles as the sum's
+        output (:meth:`ComputeContext.axpy`), halving the memory traffic of
+        the dominant solver update.  ``alpha`` may be a scalar or
+        :class:`FScalar`; ``x`` an :class:`FArray` or ndarray.
+        """
+        if type(alpha) is FScalar:
+            if alpha.ctx is not self.ctx:
+                _ctx_mismatch(self.ctx, alpha.ctx)
+            alpha = alpha.value
+        if type(x) is FArray:
+            if x.ctx is not self.ctx:
+                _ctx_mismatch(self.ctx, x.ctx)
+            x = x.data
+        return _wrap(self.ctx, self.ctx.axpy(alpha, x, self.data))
+
     def sum(self, axis: int | None = None):
         """Rounded sum (:meth:`ComputeContext.reduce_sum` underneath).
 

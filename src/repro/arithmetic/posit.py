@@ -25,16 +25,20 @@ import math
 
 import numpy as np
 
+from . import base as _base
 from .base import (
     SCALAR_CUTOFF,
     WIDE_SCALAR_CUTOFF,
     NumberFormat,
     nearest_in_table,
     nearest_in_table_scalar,
-    require_extended_longdouble,
     round_to_quantum,
 )
-from .bitkernels import PositBitKernel
+from .bitkernels import (
+    PositBitKernel,
+    PositExtendedBitKernel,
+    extended_layout_supported,
+)
 
 __all__ = ["PositFormat", "POSIT8", "POSIT16", "POSIT32", "POSIT64"]
 
@@ -62,9 +66,17 @@ class PositFormat(NumberFormat):
         self.bits = int(nbits)
         self.es = int(es)
         self.name = name or f"posit{nbits}"
-        self.work_dtype = np.float64 if nbits <= 32 else np.longdouble
-        if self.work_dtype is np.longdouble:
-            require_extended_longdouble(self.name)
+        # wide posits need > 52 significand bits near 1.0; on hosts whose
+        # numpy.longdouble is genuinely wider than float64 they work in
+        # longdouble, elsewhere (Windows/ARM: longdouble == float64) they
+        # fall back to float64 work precision, where the one-word bit
+        # kernel still serves them bit-exactly (binades whose posit grid is
+        # finer than float64's become identity rows).  base.LONGDOUBLE_-
+        # EXTENDED is read at construction time so tests can simulate the
+        # degraded platforms by monkeypatching it.
+        self.work_dtype = (
+            np.longdouble if nbits > 32 and _base.LONGDOUBLE_EXTENDED else np.float64
+        )
         # the 16-bit table kernel is a 2^15-entry searchsorted, which the
         # integer bit kernel beats at vector sizes (8-bit posits keep the
         # direct-indexed table, a single gather)
@@ -86,6 +98,10 @@ class PositFormat(NumberFormat):
         self.scalar_cutoff = (
             WIDE_SCALAR_CUTOFF if self.work_dtype is np.float64 else SCALAR_CUTOFF
         )
+        if self.work_dtype is np.longdouble:
+            # the two-word bitkernel's fixed cost (~12 us) is below two
+            # longdouble scalar roundings, so hand off almost immediately
+            self.bitkernel_scalar_cutoff = 2
 
     # ------------------------------------------------------------------ #
     # bit-level
@@ -126,10 +142,19 @@ class PositFormat(NumberFormat):
         return self.work_dtype(sign) * value
 
     def _build_bitkernel(self):
-        """Integer bit-twiddling kernel (float64-work widths only); the
-        extreme-regime binades resolve through :meth:`round_array_analytic`,
-        so the kernel is bit-identical to the analytic ground truth."""
-        return PositBitKernel(self.bits, self.es, self.round_array_analytic)
+        """Integer bit-twiddling kernel: the one-word float64 kernel for
+        float64-work widths, the two-word extended kernel for the 64-bit
+        format on 80-bit-longdouble hosts (``None`` on other longdouble
+        layouts).  The extreme-regime binades resolve through
+        :meth:`round_array_analytic`, so either kernel is bit-identical to
+        the analytic ground truth."""
+        if np.dtype(self.work_dtype) == np.dtype(np.float64):
+            return PositBitKernel(self.bits, self.es, self.round_array_analytic)
+        if extended_layout_supported():
+            return PositExtendedBitKernel(
+                self.bits, self.es, self.round_array_analytic
+            )
+        return None
 
     def table_semantics(self):
         """Posit semantics for the shared lookup-table rounding engine."""
@@ -175,7 +200,10 @@ class PositFormat(NumberFormat):
         regime_len = k + 2 if k >= 0 else -k + 1
         frac_bits = max(n - 1 - regime_len - self.es, 0)
         frac_val = a / np.ldexp(self.work_dtype(1.0), scale) - 1.0
-        frac = int(round(float(np.ldexp(frac_val, frac_bits))))
+        # stay in the work precision: posit64 fractions carry up to 59
+        # bits, which a float64 round-trip would round to 53 and shift
+        # the emitted code by one
+        frac = int(np.rint(np.ldexp(frac_val, frac_bits)))
         body_bits = n - 1
         if k >= 0:
             regime_pattern = ((1 << (k + 1)) - 1) << 1  # k+1 ones then a zero

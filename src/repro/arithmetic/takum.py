@@ -26,16 +26,20 @@ import math
 
 import numpy as np
 
+from . import base as _base
 from .base import (
     SCALAR_CUTOFF,
     WIDE_SCALAR_CUTOFF,
     NumberFormat,
     nearest_in_table,
     nearest_in_table_scalar,
-    require_extended_longdouble,
     round_to_quantum,
 )
-from .bitkernels import TakumBitKernel
+from .bitkernels import (
+    TakumBitKernel,
+    TakumExtendedBitKernel,
+    extended_layout_supported,
+)
 
 __all__ = ["TakumFormat", "TAKUM8", "TAKUM16", "TAKUM32", "TAKUM64"]
 
@@ -65,10 +69,16 @@ class TakumFormat(NumberFormat):
         self.bits = int(nbits)
         self.name = name or f"takum{nbits}"
         # near 1.0 a takum has up to n - 5 mantissa bits, which exceeds the
-        # 52-bit float64 significand for the 64-bit format
-        self.work_dtype = np.float64 if nbits <= 32 else np.longdouble
-        if self.work_dtype is np.longdouble:
-            require_extended_longdouble(self.name)
+        # 52-bit float64 significand for the 64-bit format; on hosts whose
+        # longdouble degenerates to float64 (Windows/ARM) the 64-bit format
+        # falls back to float64 work precision, where the one-word bit
+        # kernel still serves it bit-exactly (binades whose takum grid is
+        # finer than float64's become identity rows).  base.LONGDOUBLE_-
+        # EXTENDED is read at construction time so tests can simulate the
+        # degraded platforms by monkeypatching it.
+        self.work_dtype = (
+            np.longdouble if nbits > 32 and _base.LONGDOUBLE_EXTENDED else np.float64
+        )
         # the 16-bit table kernel is a 2^15-entry searchsorted, which the
         # integer bit kernel beats at vector sizes (8-bit takums keep the
         # direct-indexed table, a single gather)
@@ -84,6 +94,10 @@ class TakumFormat(NumberFormat):
         self.scalar_cutoff = (
             WIDE_SCALAR_CUTOFF if self.work_dtype is np.float64 else SCALAR_CUTOFF
         )
+        if self.work_dtype is np.longdouble:
+            # the two-word bitkernel's fixed cost (~12 us) is below two
+            # longdouble scalar roundings, so hand off almost immediately
+            self.bitkernel_scalar_cutoff = 2
 
     def _decode_magnitude_of_code(self, code: int):
         return abs(self.decode_code(code))
@@ -127,11 +141,17 @@ class TakumFormat(NumberFormat):
         return -np.ldexp(self.work_dtype(significand), int(-c - 1 - p))
 
     def _build_bitkernel(self):
-        """Integer bit-twiddling kernel (float64-work widths only); the
-        characteristic-boundary and truncated-characteristic binades resolve
-        through :meth:`round_array_analytic`, so the kernel is bit-identical
-        to the analytic ground truth."""
-        return TakumBitKernel(self.bits, self.round_array_analytic)
+        """Integer bit-twiddling kernel: the one-word float64 kernel for
+        float64-work widths, the two-word extended kernel for the 64-bit
+        format on 80-bit-longdouble hosts (``None`` on other longdouble
+        layouts).  The characteristic-boundary and truncated-characteristic
+        binades resolve through :meth:`round_array_analytic`, so either
+        kernel is bit-identical to the analytic ground truth."""
+        if np.dtype(self.work_dtype) == np.dtype(np.float64):
+            return TakumBitKernel(self.bits, self.round_array_analytic)
+        if extended_layout_supported():
+            return TakumExtendedBitKernel(self.bits, self.round_array_analytic)
+        return None
 
     def table_semantics(self):
         """Takum semantics for the shared lookup-table rounding engine."""
@@ -173,15 +193,17 @@ class TakumFormat(NumberFormat):
             lfloor -= 1
         elif np.ldexp(one, lfloor + 1) <= g:
             lfloor += 1
-        frac = float(g / np.ldexp(one, lfloor) - one)  # in [0, 1)
+        # fraction in [0, 1), kept in the work precision: for 64-bit takums
+        # it carries up to 59 bits, which a float64 round-trip would corrupt
+        frac = g / np.ldexp(one, lfloor) - one
         if sign == 0:
             c = lfloor
             m = frac
         else:
-            if frac == 0.0:
-                c, m = -lfloor, 0.0
+            if frac == 0:
+                c, m = -lfloor, self.work_dtype(0.0)
             else:
-                c, m = -lfloor - 1, 1.0 - frac
+                c, m = -lfloor - 1, one - frac
         if c >= 0:
             direction = 1
             r = int(math.floor(math.log2(c + 1)))
@@ -193,7 +215,9 @@ class TakumFormat(NumberFormat):
         tail_bits = n - 5
         p = tail_bits - r
         if p >= 0:
-            mantissa = int(round(m * 2**p))
+            # ldexp and rint are exact in the work precision for
+            # representable inputs (m has at most p fraction bits)
+            mantissa = int(np.rint(np.ldexp(m, p)))
             if mantissa >= (1 << p) and p > 0:
                 mantissa = (1 << p) - 1  # cannot happen for representable v
             tail = (characteristic << p) | mantissa if p > 0 else characteristic

@@ -9,9 +9,12 @@ ground truth (``round_array_analytic`` / ``decode_code`` /
   rounding ties — and their work-precision neighbours);
 * by **randomized, boundary and tie sweeps** against the preserved analytic
   kernels for the wide formats (posit32/64, takum32/64, float32/64; the
-  64-bit tapered formats and the hardware-cast IEEE widths have no bit
-  kernel and must keep their fallback paths);
+  64-bit tapered formats run the two-word extended kernel, the cast IEEE
+  widths keep the hardware cast);
 * through a shared **NaR/NaN/inf/signed-zero battery** for every family.
+
+The sweep generators and comparators live in :mod:`tests._kernel_harness`;
+the 64-bit extended-kernel battery is in ``test_bitkernels_64bit.py``.
 
 The ``out=`` plumbing (``round_array(..., out=)`` through the contexts down
 to the kernels) is checked for aliasing safety and allocation-free identity.
@@ -19,16 +22,29 @@ to the kernels) is checked for aliasing safety and allocation-free identity.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 import pytest
 
 from repro.arithmetic import bitkernels as bk
 from repro.arithmetic import get_context, get_format, table_for
 from repro.arithmetic.base import SCALAR_CUTOFF
+from tests._kernel_harness import (
+    assert_rounded_equal,
+    edge_battery,
+    midpoint_sweep,
+    random_sweep,
+    solver_regime_sweep,
+)
 
-#: formats with an integer kernel, by family
+# these are identity proofs *of* the engine: with the engine globally
+# disabled (the REPRO_DISABLE_BITKERNELS=1 analytic-only CI job) there is
+# nothing to difference against
+pytestmark = pytest.mark.skipif(
+    not bk.bitkernels_enabled(),
+    reason="bit kernels globally disabled (REPRO_DISABLE_BITKERNELS)",
+)
+
+#: formats with a one-word (float64) integer kernel, by family
 KERNEL_FORMATS = [
     "posit8",
     "posit16",
@@ -44,58 +60,11 @@ KERNEL_FORMATS = [
 #: table-eligible formats (<= 16 bits): exhaustive identity required
 TABLE_FORMATS = ["posit8", "posit16", "takum8", "takum16", "float16", "bfloat16", "E5M2", "E4M3"]
 #: wide formats: sweep-based identity of the dispatch (the 64-bit tapered
-#: formats keep the longdouble analytic fallback, the cast IEEE widths the
-#: hardware cast)
+#: formats round through the two-word extended kernel, the cast IEEE widths
+#: through the hardware cast)
 WIDE_FORMATS = ["posit32", "takum32", "posit64", "takum64", "float32", "float64"]
 
 _U = np.uint64
-
-
-def assert_bitwise_equal(got, expected, context=""):
-    """Same float64 words everywhere except NaN positions, which must agree."""
-    got = np.asarray(got, dtype=np.float64)
-    expected = np.asarray(expected, dtype=np.float64)
-    nan_g, nan_e = np.isnan(got), np.isnan(expected)
-    assert np.array_equal(nan_g, nan_e), f"{context}: NaN positions differ"
-    assert np.array_equal(got.view(_U)[~nan_g], expected.view(_U)[~nan_e]), (
-        f"{context}: rounded words differ"
-    )
-
-
-def edge_battery(dtype=np.float64) -> np.ndarray:
-    """NaR/NaN/inf/signed-zero/extreme battery shared by every family."""
-    return np.asarray(
-        [
-            0.0,
-            -0.0,
-            math.inf,
-            -math.inf,
-            math.nan,
-            5e-324,
-            -5e-324,
-            1e-308,
-            -1e-308,
-            1e308,
-            -1e308,
-            1.0,
-            -1.0,
-        ],
-        dtype=dtype,
-    )
-
-
-def whole_range_sweep(n=150_000, seed=5) -> np.ndarray:
-    """Log-uniform magnitudes across the entire float64 range, both signs."""
-    rng = np.random.default_rng(seed)
-    values = rng.standard_normal(n) * np.exp(rng.uniform(-700, 700, n) * math.log(2) / 2)
-    values[rng.integers(0, n, n // 64)] = 0.0
-    return np.concatenate([values, edge_battery()])
-
-
-def solver_regime_sweep(n=80_000, seed=6) -> np.ndarray:
-    """Magnitudes around 1.0, the regime the solvers live in."""
-    rng = np.random.default_rng(seed)
-    return rng.standard_normal(n) * np.exp(rng.uniform(-12, 12, n))
 
 
 def exhaustive_table_inputs(fmt) -> np.ndarray:
@@ -131,8 +100,8 @@ def test_round_exhaustive_vs_tables(name):
     assert kern is not None
     values = exhaustive_table_inputs(fmt)
     analytic = fmt.round_array_analytic(values)
-    assert_bitwise_equal(kern.round(values), analytic, f"{name} kernel-vs-analytic")
-    assert_bitwise_equal(
+    assert_rounded_equal(kern.round(values), analytic, f"{name} kernel-vs-analytic")
+    assert_rounded_equal(
         table_for(fmt).round_values(values), analytic, f"{name} table-vs-analytic"
     )
 
@@ -141,8 +110,12 @@ def test_round_exhaustive_vs_tables(name):
 @pytest.mark.parametrize("sweep", ["whole_range", "solver_regime"])
 def test_round_random_sweeps(name, sweep):
     fmt = get_format(name)
-    values = whole_range_sweep() if sweep == "whole_range" else solver_regime_sweep()
-    assert_bitwise_equal(
+    values = (
+        random_sweep(fmt, 150_000, seed=5)
+        if sweep == "whole_range"
+        else solver_regime_sweep(fmt, 80_000, seed=6)
+    )
+    assert_rounded_equal(
         fmt.bitkernel().round(values),
         fmt.round_array_analytic(values),
         f"{name} {sweep}",
@@ -151,19 +124,11 @@ def test_round_random_sweeps(name, sweep):
 
 @pytest.mark.parametrize("name", KERNEL_FORMATS)
 def test_round_tie_sweep(name):
-    """Exact midpoints of adjacent representable values across the binade
-    range the kernel serves in integer arithmetic."""
+    """Exact midpoints of adjacent representable codes (the rounding ties)
+    across the small, middle and large ends of the code range."""
     fmt = get_format(name)
-    rng = np.random.default_rng(11)
-    seeds = rng.standard_normal(4_000) * np.exp(rng.uniform(-40, 40, 4_000))
-    lo = fmt.round_array_analytic(np.abs(seeds))
-    finite = np.isfinite(lo) & (lo > 0)
-    lo = lo[finite]
-    hi = fmt.round_array_analytic(np.nextafter(lo * (1.0 + 1e-13), np.inf))
-    good = np.isfinite(hi) & (hi > lo)
-    mids = (lo[good] + hi[good]) * 0.5
-    values = np.concatenate([mids, -mids])
-    assert_bitwise_equal(
+    values = midpoint_sweep(fmt)
+    assert_rounded_equal(
         fmt.bitkernel().round(values),
         fmt.round_array_analytic(values),
         f"{name} ties",
@@ -174,7 +139,7 @@ def test_round_tie_sweep(name):
 def test_round_edge_battery(name):
     fmt = get_format(name)
     values = edge_battery()
-    assert_bitwise_equal(
+    assert_rounded_equal(
         fmt.bitkernel().round(values), fmt.round_array_analytic(values), name
     )
 
@@ -198,11 +163,17 @@ def test_wide_dispatch_matches_analytic(name):
         assert np.array_equal(got[~nan_g], expected[~nan_e]), name
 
 
-def test_64bit_formats_keep_longdouble_fallback():
-    """posit64/takum64 run in extended precision, which the float64-word
-    kernels cannot serve — they must not get a kernel."""
+def test_64bit_formats_get_extended_kernel():
+    """posit64/takum64 run in extended precision, served by the two-word
+    extended kernels on 80-bit-longdouble hosts (the deep battery lives in
+    ``test_bitkernels_64bit.py``)."""
     for name in ("posit64", "takum64"):
-        assert get_format(name).bitkernel() is None, name
+        fmt = get_format(name)
+        kern = fmt.bitkernel()
+        if not bk.extended_layout_supported():
+            pytest.skip("host longdouble is not the two-word extended layout")
+        assert kern is not None, name
+        assert not kern.supports_codec, name
 
 
 def test_cast_ieee_formats_have_no_kernel():
@@ -221,7 +192,7 @@ def test_decode_exhaustive(name):
     fmt = get_format(name)
     codes = np.arange(1 << fmt.bits, dtype=np.uint64)
     expected = np.asarray([fmt.decode_code(int(c)) for c in codes], dtype=np.float64)
-    assert_bitwise_equal(fmt.bitkernel().decode(codes), expected, name)
+    assert_rounded_equal(fmt.bitkernel().decode(codes), expected, name)
 
 
 @pytest.mark.parametrize("name", ["posit32", "takum32"])
@@ -239,13 +210,13 @@ def test_decode_sampled_32bit(name):
         )
     )
     expected = np.asarray([fmt.decode_code(int(c)) for c in codes], dtype=np.float64)
-    assert_bitwise_equal(fmt.bitkernel().decode(codes), expected, name)
+    assert_rounded_equal(fmt.bitkernel().decode(codes), expected, name)
 
 
 @pytest.mark.parametrize("name", KERNEL_FORMATS)
 def test_encode_matches_analytic(name):
     fmt = get_format(name)
-    values = fmt.round_array_analytic(whole_range_sweep(40_000))
+    values = fmt.round_array_analytic(random_sweep(fmt, 40_000, seed=5))
     expected = fmt.encode_analytic(values)
     assert np.array_equal(fmt.bitkernel().encode(values), expected), name
     # the format-level dispatch must agree as well (table- or kernel-served)
@@ -256,12 +227,12 @@ def test_encode_matches_analytic(name):
 def test_encode_decode_roundtrip(name):
     fmt = get_format(name)
     kern = fmt.bitkernel()
-    values = fmt.round_array_analytic(solver_regime_sweep(10_000))
+    values = fmt.round_array_analytic(solver_regime_sweep(fmt, 10_000))
     if name == "E4M3":
         # E4M3 has no signed-zero code: -0.0 canonicalises to +0.0 on encode
         values = np.where(values == 0.0, 0.0, values)
     codes = kern.encode(values)
-    assert_bitwise_equal(kern.decode(codes), values, name)
+    assert_rounded_equal(kern.decode(codes), values, name)
 
 
 # --------------------------------------------------------------------- #
@@ -404,7 +375,7 @@ def test_table_construction_decodes_via_bitkernels():
         [np.arange(0, 2_000, dtype=np.uint64), np.arange(30_000, 34_000, dtype=np.uint64)]
     )
     expected = np.asarray([fmt.decode_code(int(c)) for c in sample])
-    assert_bitwise_equal(table.decode_values(sample), expected, "takum16 lut")
+    assert_rounded_equal(table.decode_values(sample), expected, "takum16 lut")
 
 
 def test_scalar_cutoff_path_unchanged():

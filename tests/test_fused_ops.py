@@ -1,0 +1,211 @@
+"""Element-exact equivalence of the fused rounded kernels vs the unfused
+op-for-op sequences.
+
+The fused paths — single-buffer ``axpy`` (with and without ``out=``), the
+in-place pairwise/sequential reduction tree behind ``reduce_sum``/``dot``/
+``gemv``/``gemv_t``/``gemm``, and ``FArray.axpy`` — must produce bit-for-bit
+the same rounded values as composing ``mul``/``add``/``reduce_sum`` naively,
+for every registered format and both accumulation orders, because solver
+trajectories in this reproduction are compared at bit level.  Aliasing
+(``out=`` pointing at an operand) and non-contiguous column views must
+behave like the allocating form, and the public ``reduce_sum`` must never
+mutate its input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arithmetic import available_formats, get_context
+
+#: every registered emulated format plus the native widths
+ALL_FORMATS = available_formats()
+ACCUMULATIONS = ["pairwise", "sequential"]
+
+
+def unfused_reduce(ctx, values, axis=-1):
+    """The pre-fusion reduce_sum, kept verbatim as the reference."""
+    v = np.asarray(values, dtype=ctx.dtype)
+    v = np.moveaxis(v, axis, -1)
+    if v.shape[-1] == 0:
+        return np.zeros(v.shape[:-1], dtype=ctx.dtype)
+    if ctx.accumulation == "pairwise":
+        while v.shape[-1] > 1:
+            m = v.shape[-1]
+            half = m // 2
+            paired = ctx.add(v[..., 0 : 2 * half : 2], v[..., 1 : 2 * half : 2])
+            if m % 2:
+                paired = np.concatenate([paired, v[..., -1:]], axis=-1)
+            v = paired
+        return v[..., 0]
+    acc = v[..., 0]
+    for j in range(1, v.shape[-1]):
+        acc = ctx.add(acc, v[..., j])
+    return acc
+
+
+def assert_same(got, ref, context=""):
+    got = np.asarray(got)
+    ref = np.asarray(ref)
+    assert got.shape == ref.shape, context
+    assert np.array_equal(got, ref, equal_nan=True), context
+
+
+@pytest.fixture(params=ACCUMULATIONS)
+def accumulation(request):
+    return request.param
+
+
+@pytest.fixture(params=ALL_FORMATS)
+def ctx(request, accumulation):
+    return get_context(request.param, accumulation=accumulation)
+
+
+class TestReduceSum:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8, 13, 64, 100])
+    def test_1d_matches_unfused(self, ctx, m):
+        rng = np.random.default_rng(m)
+        x = ctx.round(rng.standard_normal(m) * 10.0 ** rng.integers(-3, 3))
+        got = ctx.reduce_sum(x.copy())
+        ref = unfused_reduce(ctx, x.copy())
+        assert got == ref or (np.isnan(got) and np.isnan(ref)), (ctx.name, m)
+
+    @pytest.mark.parametrize("m", [1, 3, 7, 33])
+    def test_2d_both_axes_match_unfused(self, ctx, m):
+        rng = np.random.default_rng(m + 100)
+        A = ctx.round(rng.standard_normal((4, m)))
+        for axis in (-1, 0, 1):
+            assert_same(
+                ctx.reduce_sum(A.copy(), axis=axis),
+                unfused_reduce(ctx, A.copy(), axis=axis),
+                (ctx.name, axis, m),
+            )
+
+    def test_does_not_mutate_input(self, ctx):
+        rng = np.random.default_rng(7)
+        x = ctx.round(rng.standard_normal(33))
+        xc = x.copy()
+        ctx.reduce_sum(x)
+        assert np.array_equal(x, xc, equal_nan=True), ctx.name
+        A = ctx.round(rng.standard_normal((6, 9)))
+        Ac = A.copy()
+        ctx.reduce_sum(A, axis=0)
+        ctx.reduce_sum(A, axis=1)
+        assert np.array_equal(A, Ac, equal_nan=True), ctx.name
+
+    def test_scalar_result_type_1d(self, ctx):
+        out = ctx.reduce_sum(ctx.round(np.asarray([1.0, 2.0, 3.0])))
+        assert np.ndim(out) == 0
+
+
+class TestDenseKernels:
+    def test_gemv_matches_unfused(self, ctx):
+        rng = np.random.default_rng(11)
+        M = ctx.round(rng.standard_normal((7, 5)))
+        x = ctx.round(rng.standard_normal(5))
+        ref = unfused_reduce(ctx, ctx.mul(M, x[np.newaxis, :]), -1)
+        assert_same(ctx.gemv(M, x), ref, ctx.name)
+
+    def test_gemv_t_matches_unfused(self, ctx):
+        rng = np.random.default_rng(13)
+        M = ctx.round(rng.standard_normal((7, 5)))
+        w = ctx.round(rng.standard_normal(7))
+        ref = unfused_reduce(ctx, ctx.mul(M.T, w[np.newaxis, :]), -1)
+        assert_same(ctx.gemv_t(M, w), ref, ctx.name)
+
+    def test_gemm_matches_unfused(self, ctx):
+        rng = np.random.default_rng(17)
+        A = ctx.round(rng.standard_normal((6, 5)))
+        B = ctx.round(rng.standard_normal((5, 4)))
+        ref = unfused_reduce(ctx, ctx.mul(A[:, :, None], B[None, :, :]), 1)
+        assert_same(ctx.gemm(A, B), ref, ctx.name)
+
+    def test_dot_matches_unfused(self, ctx):
+        rng = np.random.default_rng(19)
+        x = ctx.round(rng.standard_normal(9))
+        y = ctx.round(rng.standard_normal(9))
+        got = ctx.dot(x, y)
+        ref = unfused_reduce(ctx, ctx.mul(x, y))
+        assert got == ref or (np.isnan(got) and np.isnan(ref)), ctx.name
+
+    def test_gemv_on_noncontiguous_inputs(self, ctx):
+        """Column views of a larger buffer must behave like copies."""
+        rng = np.random.default_rng(23)
+        big = ctx.round(rng.standard_normal((7, 10)))
+        M = big[:, 0:8:2]  # non-contiguous 7x4
+        x = big[0, 1:9:2]  # non-contiguous length-4
+        assert_same(ctx.gemv(M, x), ctx.gemv(M.copy(), x.copy()), ctx.name)
+
+
+class TestFusedAxpy:
+    def _data(self, ctx, n=17, seed=29):
+        rng = np.random.default_rng(seed)
+        alpha = ctx.round_scalar(0.7)
+        x = ctx.round(rng.standard_normal(n))
+        y = ctx.round(rng.standard_normal(n))
+        ref = ctx.add(y, ctx.mul(alpha, x))  # unfused op-for-op
+        return alpha, x, y, np.asarray(ref)
+
+    def test_matches_unfused(self, ctx):
+        alpha, x, y, ref = self._data(ctx)
+        assert_same(ctx.axpy(alpha, x, y), ref, ctx.name)
+
+    def test_out_buffer(self, ctx):
+        alpha, x, y, ref = self._data(ctx)
+        out = np.empty_like(y)
+        got = ctx.axpy(alpha, x, y, out=out)
+        assert got is out
+        assert_same(out, ref, ctx.name)
+
+    def test_out_aliases_y(self, ctx):
+        alpha, x, y, ref = self._data(ctx)
+        buf = y.copy()
+        got = ctx.axpy(alpha, x, buf, out=buf)
+        assert got is buf
+        assert_same(buf, ref, ctx.name)
+
+    def test_out_aliases_x(self, ctx):
+        alpha, x, y, ref = self._data(ctx)
+        buf = x.copy()
+        got = ctx.axpy(alpha, buf, y, out=buf)
+        assert got is buf
+        assert_same(buf, ref, ctx.name)
+
+    def test_out_noncontiguous_column(self, ctx):
+        alpha, x, y, ref = self._data(ctx)
+        mat = np.zeros((x.size, 3), dtype=ctx.dtype)
+        col = mat[:, 1]
+        got = ctx.axpy(alpha, x, y, out=col)
+        assert got.base is mat
+        assert_same(mat[:, 1], ref, ctx.name)
+
+    def test_scalar_operands_stay_scalar(self, ctx):
+        got = ctx.axpy(ctx.round_scalar(2.0), ctx.round_scalar(3.0), ctx.round_scalar(1.0))
+        ref = ctx.add(1.0, ctx.mul(2.0, 3.0))
+        assert np.ndim(got) == 0
+        assert float(got) == float(ref) or (np.isnan(got) and np.isnan(ref))
+
+
+class TestFArrayAxpy:
+    @pytest.mark.parametrize("name", ["posit16", "posit32", "posit64", "takum64", "float32"])
+    def test_matches_operator_form(self, name):
+        ctx = get_context(name)
+        rng = np.random.default_rng(31)
+        y = ctx.array(rng.standard_normal(21))
+        x = ctx.array(rng.standard_normal(21))
+        alpha = ctx.scalar(0.25)  # representable in every format
+        fused = y.axpy(alpha, x)
+        unfused = y + alpha * x
+        assert np.array_equal(fused.data, unfused.data, equal_nan=True), name
+        # plain-scalar / ndarray operands
+        fused2 = y.axpy(0.25, np.asarray(x.data))
+        assert np.array_equal(fused2.data, unfused.data, equal_nan=True), name
+
+    def test_context_mismatch_raises(self):
+        from repro.arithmetic.farray import PrecisionLeakError
+
+        a = get_context("posit16").array([1.0, 2.0])
+        b = get_context("posit32").array([1.0, 2.0])
+        with pytest.raises(PrecisionLeakError):
+            a.axpy(1.0, b)

@@ -8,6 +8,9 @@ behaviour.  The sweeps cover randomized values across (and beyond) each
 format's dynamic range, every special value, exact rounding ties built from
 adjacent code pairs, and the size-based dispatch plumbing in
 ``NumberFormat.round_array`` and the contexts' scalar elementary operations.
+
+The sweeps and the scalar-vs-vector comparator come from
+:mod:`tests._kernel_harness`, shared with the bit-kernel suites.
 """
 
 import math
@@ -18,6 +21,12 @@ import pytest
 from repro.arithmetic import get_context, get_format
 from repro.arithmetic import tables as tables_mod
 from repro.arithmetic.base import SCALAR_CUTOFF, WIDE_SCALAR_CUTOFF
+from tests._kernel_harness import (
+    assert_scalar_matches_vector,
+    boundary_sweep,
+    midpoint_sweep,
+    random_sweep,
+)
 
 #: formats the table engine cannot serve — the scalar kernels are their only
 #: fast path at solver-call sizes
@@ -26,87 +35,6 @@ WIDE_FORMATS = ["posit32", "posit64", "takum32", "takum64", "float32", "float64"
 #: engine is disabled
 NARROW_FORMATS = ["posit8", "posit16", "takum8", "takum16", "float16", "bfloat16", "E4M3", "E5M2"]
 ALL_FORMATS = WIDE_FORMATS + NARROW_FORMATS
-
-
-def assert_scalar_matches_vector(fmt, values, context=""):
-    """Round ``values`` through both kernels and require bit identity."""
-    values = np.asarray(values, dtype=fmt.work_dtype)
-    expected = fmt.round_array_analytic(values)
-    for i, v in enumerate(values):
-        got = fmt.round_scalar_analytic(v)
-        exp = expected[i]
-        if exp != exp:  # NaN expected
-            assert got != got, f"{fmt.name}{context}: {v!r} -> {got!r}, expected NaN"
-            continue
-        assert got == exp, f"{fmt.name}{context}: {v!r} -> {got!r}, expected {exp!r}"
-        assert bool(np.signbit(np.asarray(got))) == bool(np.signbit(exp)), (
-            f"{fmt.name}{context}: {v!r} -> {got!r} has wrong zero sign"
-        )
-
-
-def random_workload(fmt, n=20_000, seed=42):
-    """Sign-symmetric values spanning the format's range and well beyond."""
-    rng = np.random.default_rng(seed)
-    values = rng.standard_normal(n) * np.exp(rng.uniform(-320.0, 320.0, n))
-    values[rng.integers(0, n, n // 64)] = 0.0
-    return values.astype(fmt.work_dtype)
-
-
-def boundary_workload(fmt):
-    """Specials, range edges and their work-precision neighbours."""
-    wd = fmt.work_dtype
-    maxv = wd(fmt.max_value)
-    minp = wd(fmt.min_positive)
-    pieces = [
-        0.0,
-        -0.0,
-        math.inf,
-        -math.inf,
-        math.nan,
-        1.0,
-        -1.0,
-        1e300,
-        -1e300,
-        1e-300,
-        5e-324,
-        -5e-324,
-        float(maxv),
-        float(minp),
-        float(maxv) * 2.0,
-        float(minp) * 0.5,
-    ]
-    values = [wd(p) for p in pieces]
-    one = wd(1.0)
-    eps = wd(fmt.machine_epsilon)
-    # spacing around 1.0, including the half-ulp tie in the work precision
-    values += [one + eps, one - eps, one + eps / wd(2.0), one - eps / wd(4.0)]
-    return np.asarray(values, dtype=wd)
-
-
-def tie_workload(fmt, span=256):
-    """Exact midpoints of adjacent representable magnitudes (both signs).
-
-    Midpoints of adjacent codes carry one extra significand bit, which fits
-    the work precision for every format (the 64-bit tapered formats use
-    ``longdouble``), so these are exact rounding ties exercising the
-    ties-to-even-code rule.
-    """
-    half_codes = 1 << (fmt.bits - 1)
-    ranges = [range(1, min(span, half_codes - 1))]
-    if fmt.bits > 10:
-        mid_start = 1 << (fmt.bits - 3)
-        ranges.append(range(mid_start, min(mid_start + span, half_codes - 1)))
-        ranges.append(range(max(half_codes - span, 1), half_codes - 1))
-    mids = []
-    for code_range in ranges:
-        for code in code_range:
-            v1 = fmt.decode_code(code)
-            v2 = fmt.decode_code(code + 1)
-            if not (np.isfinite(v1) and np.isfinite(v2)):
-                continue
-            mid = (v1 + v2) * fmt.work_dtype(0.5)
-            mids += [mid, -mid]
-    return np.asarray(mids, dtype=fmt.work_dtype)
 
 
 @pytest.fixture(params=ALL_FORMATS)
@@ -122,17 +50,17 @@ def wide_format(request):
 class TestScalarKernelBitIdentity:
     def test_random_sweep(self, any_kernel_format):
         assert_scalar_matches_vector(
-            any_kernel_format, random_workload(any_kernel_format), " random"
+            any_kernel_format, random_sweep(any_kernel_format), " random"
         )
 
     def test_boundary_sweep(self, any_kernel_format):
         assert_scalar_matches_vector(
-            any_kernel_format, boundary_workload(any_kernel_format), " boundary"
+            any_kernel_format, boundary_sweep(any_kernel_format), " boundary"
         )
 
     def test_exact_ties(self, any_kernel_format):
         assert_scalar_matches_vector(
-            any_kernel_format, tie_workload(any_kernel_format), " ties"
+            any_kernel_format, midpoint_sweep(any_kernel_format), " ties"
         )
 
     @pytest.mark.extended_longdouble
@@ -151,7 +79,7 @@ class TestScalarKernelBitIdentity:
 
     def test_idempotent_on_representables(self, any_kernel_format):
         fmt = any_kernel_format
-        rounded = fmt.round_array_analytic(random_workload(fmt, n=512, seed=7))
+        rounded = fmt.round_array_analytic(random_sweep(fmt, n=512, seed=7))
         for v in rounded[np.isfinite(rounded)]:
             assert fmt.round_scalar_analytic(v) == v, fmt.name
 

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""End-to-end smoke gate of the serving layer (CI).
+
+Prewarms an experiment store with the same scaled-down Figure-1 workload the
+store round-trip gate uses (``scripts/store_roundtrip.py``), starts a real
+``repro.serve`` service over it — process worker pool, real sockets — and
+drives the three serving paths through the blocking client:
+
+* **warm**: every prewarmed (matrix, format) cell served from the store,
+  byte-identical to the on-disk payload, zero solver work;
+* **cold**: a config override makes a fresh cell; the service solves it on
+  the worker pool, commits it, and serves it warm on the second request;
+* **coalesced**: a concurrent burst of identical cold requests costs
+  exactly one solve (``serve.solves`` grows by one).
+
+After each phase the ``/metrics`` registry snapshot must agree with what the
+client observed (request counts, store hits, solve counts), and the service
+must shut down cleanly — refusing new connections afterwards.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import pathlib
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+if str(ROOT / "scripts") not in sys.path:
+    sys.path.insert(0, str(ROOT / "scripts"))
+
+import store_roundtrip  # noqa: E402  (sibling script: the shared workload)
+
+from repro.arithmetic.registry import PAPER_FORMATS  # noqa: E402
+from repro.experiments import ExperimentConfig, ResultStore, task_key  # noqa: E402
+from repro.experiments.cli import build_parser, _build_suite  # noqa: E402
+from repro.experiments.store import matrix_fingerprint  # noqa: E402
+from repro.serve import ServeClient, ServiceThread, SpectralService  # noqa: E402
+
+#: concurrent identical cold requests of the coalescing phase
+BURST = 8
+
+failures: list[str] = []
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        failures.append(message)
+        print(f"FAIL: {message}", file=sys.stderr)
+
+
+def main() -> int:
+    # parse the shared workload definition so suite/config/formats stay in
+    # lock-step with the store round-trip gate that prewarmed the store
+    args = build_parser().parse_args(store_roundtrip.WORKLOAD)
+    suite = _build_suite(args)
+    formats = [name for width in args.widths for name in PAPER_FORMATS[width]]
+    config = ExperimentConfig(restarts=args.restarts, accumulation=args.accumulation)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as workdir:
+        out_dir = pathlib.Path(workdir)
+        store_dir = str(out_dir / "store")
+        print("== prewarming the store (store_roundtrip workload) ==", flush=True)
+        report, _figure, _metrics = store_roundtrip.run_once(store_dir, "prewarm", out_dir)
+        check(report["failed"] == 0, f"prewarm run had {report['failed']} failed shards")
+
+        store = ResultStore(store_dir)
+        service = SpectralService(
+            store,
+            suite,
+            formats=formats,
+            config=config,
+            workers=2,
+            queue_limit=8,
+            pool_kind="process",
+        )
+        # the CLI would do this; the smoke drives the service object directly
+        from repro.telemetry import metrics as registry, set_enabled
+
+        set_enabled(True)
+        registry.reset()
+
+        thread = ServiceThread(service)
+        base_url = thread.start()
+        client = ServeClient(base_url, timeout=600)
+        print(f"== service up at {base_url} ==", flush=True)
+
+        health = client.healthz()
+        check(health["status"] == "ok", f"healthz reported {health}")
+        check(health["matrices"] == len(suite), "healthz matrix count mismatch")
+
+        # -- warm phase: every prewarmed cell, byte-identical ---------------
+        warm_requests = 0
+        for tm in suite:
+            fingerprint = matrix_fingerprint(tm)
+            for format_name in formats:
+                body, headers = client.cell(tm.name, format_name, raw=True)
+                warm_requests += 1
+                check(
+                    headers.get("x-repro-source") == "store",
+                    f"warm cell ({tm.name}, {format_name}) not served from the store",
+                )
+                key = task_key(config, format_name, fingerprint)
+                if body != store.path_for(key).read_bytes():
+                    check(False, f"warm bytes differ from store file for {format_name}")
+        snapshot = client.metrics()["counters"]
+        check(
+            snapshot.get("serve.requests{route=cell,status=200}", 0) == warm_requests,
+            "request counter disagrees with the client's warm request count",
+        )
+        check(
+            snapshot.get("store.get.hit{kind=run}", 0) == warm_requests,
+            "store hit counter disagrees with the warm request count",
+        )
+        check(snapshot.get("serve.solves", 0) == 0, "warm phase triggered solver work")
+        print(f"warm phase OK: {warm_requests} requests, all byte-identical", flush=True)
+
+        # -- cold phase: one overridden cell, solved then cached ------------
+        override = {"restarts": args.restarts + 1}
+        cold_body, cold_headers = client.cell(suite[0].name, formats[0], config=override, raw=True)
+        check(
+            cold_headers.get("x-repro-source") == "computed",
+            "cold cell was not freshly computed",
+        )
+        rewarm_body, rewarm_headers = client.cell(
+            suite[0].name, formats[0], config=override, raw=True
+        )
+        check(
+            rewarm_headers.get("x-repro-source") == "store",
+            "second request of the cold cell was not served from the store",
+        )
+        check(cold_body == rewarm_body, "cold and re-warmed payloads differ")
+        snapshot = client.metrics()["counters"]
+        check(snapshot.get("serve.solves", 0) == 1, "cold phase should cost exactly one solve")
+        print("cold phase OK: one solve, immediately cache-warm", flush=True)
+
+        # -- coalesced phase: identical concurrent cold burst ---------------
+        override = {"restarts": args.restarts + 2}
+
+        def fetch():
+            return client.cell(suite[1].name, formats[1], config=override, raw=True)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=BURST) as pool:
+            outcomes = list(pool.map(lambda _i: fetch(), range(BURST)))
+        bodies = {body for body, _headers in outcomes}
+        sources = [headers.get("x-repro-source") for _body, headers in outcomes]
+        check(len(bodies) == 1, "coalesced burst returned differing payloads")
+        check(
+            sources.count("computed") == 1,
+            f"burst should have exactly one leader, saw sources {sources}",
+        )
+        snapshot = client.metrics()["counters"]
+        check(
+            snapshot.get("serve.solves", 0) == 2,
+            "coalesced burst must add exactly one solve",
+        )
+        check(
+            snapshot.get("serve.coalesced", 0) == sources.count("coalesced"),
+            "coalesced counter disagrees with the sources the clients saw",
+        )
+        print(
+            f"coalesced phase OK: {BURST} concurrent requests, one solve, "
+            f"{sources.count('coalesced')} coalesced",
+            flush=True,
+        )
+
+        # -- exposition + shutdown ------------------------------------------
+        text = client.metrics_text()
+        check("serve_requests{" in text, "Prometheus exposition lacks serve_requests")
+        check("serve_solve_seconds_count" in text, "exposition lacks solve histogram")
+
+        thread.stop()
+        try:
+            client.healthz()
+            check(False, "service still accepting connections after shutdown")
+        except OSError:
+            pass
+        print("shutdown OK: connection refused after stop", flush=True)
+
+    if failures:
+        print(f"{len(failures)} serve smoke failure(s)", file=sys.stderr)
+        return 1
+    print(
+        json.dumps(
+            {
+                "serve_smoke": "ok",
+                "warm_requests": warm_requests,
+                "burst": BURST,
+                "coalesced": sources.count("coalesced"),
+            }
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

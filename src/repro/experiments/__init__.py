@@ -45,6 +45,9 @@ from .figures import (
 )
 from .store import (
     STORE_SCHEMA_VERSION,
+    StoreBackend,
+    LocalDirBackend,
+    DictBackend,
     ResultStore,
     ExperimentPlan,
     ExecutionReport,
@@ -84,6 +87,9 @@ __all__ = [
     "table1_report",
     "render_figure",
     "STORE_SCHEMA_VERSION",
+    "StoreBackend",
+    "LocalDirBackend",
+    "DictBackend",
     "ResultStore",
     "ExperimentPlan",
     "ExecutionReport",

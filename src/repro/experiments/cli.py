@@ -21,6 +21,11 @@ managed with the ``store`` subcommand::
     python -m repro.experiments.cli store ls
     python -m repro.experiments.cli store gc
     python -m repro.experiments.cli store clear --yes
+
+and served over HTTP with the ``serve`` subcommand (see
+:mod:`repro.serve` and ``docs/serving.md``)::
+
+    python -m repro.experiments.cli serve --port 8080 --workers 2
 """
 
 from __future__ import annotations
@@ -48,7 +53,13 @@ from .figures import figure_csv_rows, figure_json, figure_report, table1_report
 from .runner import run_experiment
 from .store import ResultStore
 
-__all__ = ["main", "build_parser", "build_store_parser", "build_trace_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_store_parser",
+    "build_trace_parser",
+    "build_serve_parser",
+]
 
 
 #: --help epilog surfacing the rounding-backend opt-out hierarchy (the
@@ -95,6 +106,14 @@ telemetry:
   hits/misses, rounded-op totals).  Either flag enables collection
   (REPRO_TELEMETRY=1 does the same for library use).  Summarise a trace
   with: trace summarize FILE.
+
+serving:
+  'serve' starts an HTTP service over the store: requests name a
+  (matrix, format, config) cell and receive the stored run record as
+  JSON; cold cells are solved on a bounded worker pool with identical
+  concurrent requests coalesced into one solve, and saturation answered
+  with 503 + Retry-After.  Telemetry is on for the service (scrape
+  /metrics).  See docs/serving.md.
 """
 
 
@@ -312,6 +331,101 @@ def store_main(argv) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment serve",
+        description="Serve (matrix, format) run records over HTTP, solving "
+        "cold cells on a bounded worker pool (see docs/serving.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="experiment-store directory to serve from (default: $REPRO_STORE, "
+        "else ~/.cache/repro-store)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default_workers(),
+        help="solver worker processes (0 uses all CPUs; default $REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="cold solves admitted beyond the running ones before the "
+        "service answers 503 + Retry-After",
+    )
+    parser.add_argument(
+        "--suite",
+        default="general",
+        choices=["general", "biological", "infrastructure", "social", "miscellaneous"],
+        help="workload whose matrices this replica serves",
+    )
+    parser.add_argument("--matrices", type=int, default=6, help="matrices in the served suite")
+    parser.add_argument(
+        "--scale", type=float, default=0.01, help="fraction of the Table-1 graph counts"
+    )
+    parser.add_argument("--min-size", type=int, default=24, help="smallest matrix order")
+    parser.add_argument("--max-size", type=int, default=48, help="largest matrix order")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--widths",
+        type=int,
+        nargs="+",
+        default=[8, 16, 32, 64],
+        choices=[8, 16, 32, 64],
+        help="bit widths whose formats the service accepts and preloads",
+    )
+    parser.add_argument(
+        "--restarts", type=int, default=30, help="Krylov-Schur restart budget of cold solves"
+    )
+    parser.add_argument(
+        "--no-preload",
+        action="store_true",
+        help="skip building the rounding tables at startup (first cold "
+        "solve per format pays the cost instead)",
+    )
+    return parser
+
+
+def serve_main(argv) -> int:
+    """Entry point of ``python -m repro.experiments.cli serve ...``."""
+    from ..serve import SpectralService, run_service
+
+    args = build_serve_parser().parse_args(argv)
+    # the service is an observability surface by design: /metrics must have
+    # data, so telemetry is on for the whole process (workers inherit it)
+    set_enabled(True)
+    os.environ["REPRO_TELEMETRY"] = "1"
+    metrics.reset()
+
+    suite = _build_suite(args)
+    if not suite:
+        print("no matrices generated for the requested workload", file=sys.stderr)
+        return 1
+    formats = [name for width in args.widths for name in PAPER_FORMATS[width]]
+    config = ExperimentConfig(restarts=args.restarts)
+    store = ResultStore.from_environment(args.store)
+    service = SpectralService(
+        store,
+        suite,
+        formats=formats,
+        config=config,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        preload=not args.no_preload,
+    )
+    run_service(service)
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -319,6 +433,8 @@ def main(argv=None) -> int:
         return store_main(argv[1:])
     if argv[:1] == ["trace"]:
         return trace_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.suite == "table1":
         print(table1_report(scale=args.scale))

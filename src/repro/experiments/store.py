@@ -26,11 +26,13 @@ results are never served.
 
 from __future__ import annotations
 
+import abc
 import dataclasses
 import hashlib
 import json
 import os
 import pathlib
+import threading
 import time
 import uuid
 from typing import Callable, Iterable, Iterator, Optional, Sequence
@@ -57,6 +59,9 @@ __all__ = [
     "matrix_fingerprint",
     "task_key",
     "reference_key",
+    "StoreBackend",
+    "LocalDirBackend",
+    "DictBackend",
     "ResultStore",
     "ExperimentPlan",
     "ExecutionReport",
@@ -191,34 +196,85 @@ def reference_from_payload(payload: dict) -> ReferenceRecord:
 
 
 # ---------------------------------------------------------------------------
-# the on-disk store
+# pluggable storage backends
 
 
-class ResultStore:
-    """Content-addressed on-disk store of experiment records.
+class StoreBackend(abc.ABC):
+    """Storage layer under :class:`ResultStore`: a key → JSON-payload map.
 
-    Layout (under ``root``)::
+    Keys are SHA-256 content addresses derived by the engine, so a backend
+    never needs to understand them — any layout that maps a hex string to a
+    JSON document works (a local directory today, an S3-style object bucket
+    tomorrow), and many service replicas can share one backend as a common
+    cache tier.  The contract is deliberately small:
+
+    * :meth:`get` returns the committed payload or ``None`` — unreadable or
+      corrupt entries read as ``None`` (the caller recomputes and the commit
+      overwrites the bad entry) instead of raising;
+    * :meth:`put` commits atomically — a reader, or a concurrent writer of
+      the same key, only ever observes a complete payload (last writer
+      wins);
+    * :meth:`contains` / :meth:`keys` / :meth:`delete` support planning and
+      maintenance.
+
+    ``sweep_staging`` exists for backends with a staging area (the local
+    directory layout); the default is a no-op.
+    """
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional[dict]:
+        """The committed payload under ``key``, or ``None`` (missing/corrupt)."""
+
+    @abc.abstractmethod
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically commit ``payload`` under ``key``."""
+
+    @abc.abstractmethod
+    def contains(self, key: str) -> bool:
+        """Whether a committed entry exists under ``key``."""
+
+    @abc.abstractmethod
+    def keys(self) -> Iterator[str]:
+        """All committed keys (no particular order guaranteed)."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove the entry under ``key``; returns whether one was removed."""
+
+    def entry_nbytes(self, key: str) -> int:
+        """Approximate stored size of one entry (0 when unknown)."""
+        payload = self.get(key)
+        return len(_canonical_json(payload)) if payload is not None else 0
+
+    def sweep_staging(self, max_age_seconds: float) -> int:
+        """Remove staging leftovers older than ``max_age_seconds``.
+
+        Backends without a staging area (everything except the local
+        directory layout) have nothing to sweep."""
+        return 0
+
+    @property
+    def location(self) -> str:
+        """Human-readable description of where the entries live."""
+        return f"<{type(self).__name__}>"
+
+
+class LocalDirBackend(StoreBackend):
+    """The historical on-disk layout: one JSON file per key under ``root``.
+
+    Layout::
 
         objects/<key[:2]>/<key>.json   one committed record per file
         tmp/                           staging area for atomic commits
 
     Commits write to ``tmp/`` and ``os.replace`` into place, so a reader (or
     a concurrent writer of the same key) only ever observes a complete file;
-    interrupted runs leave at most orphaned ``tmp/`` files, which ``gc``
-    sweeps.  Keys are self-certifying — the engine only looks up keys it
-    derived itself, so a store can be shared between branches, machines and
-    configurations without collisions.
+    interrupted runs leave at most orphaned ``tmp/`` files, which
+    :meth:`sweep_staging` reclaims.
     """
 
     def __init__(self, root: str | os.PathLike):
         self.root = pathlib.Path(root).expanduser()
-
-    @classmethod
-    def from_environment(cls, root: Optional[str] = None) -> "ResultStore":
-        """Store at ``root`` if given, else :func:`default_store_root`."""
-        return cls(pathlib.Path(root).expanduser() if root else default_store_root())
-
-    # -- paths ------------------------------------------------------------
 
     @property
     def _objects(self) -> pathlib.Path:
@@ -232,34 +288,18 @@ class ResultStore:
         """On-disk location of one key (two-level fan-out by key prefix)."""
         return self._objects / key[:2] / f"{key}.json"
 
-    # -- primitives -------------------------------------------------------
-
     def get(self, key: str) -> Optional[dict]:
-        """The committed payload under ``key``, or ``None``.
-
-        Unreadable/corrupt entries read as misses (the cell recomputes and
-        the commit overwrites the bad file) instead of failing the run.
-        """
         try:
             with open(self.path_for(key), "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+                return json.load(handle)
         except (OSError, ValueError):
-            if _telemetry.ENABLED:
-                _metrics.counter("store.get.miss").inc()
             return None
-        if _telemetry.ENABLED:
-            _metrics.counter("store.get.hit", kind=payload.get("kind", "unknown")).inc()
-        return payload
 
-    def put(self, key: str, payload: dict) -> pathlib.Path:
-        """Atomically commit ``payload`` under ``key``; returns the path.
-
-        The payload is fully written and flushed to a unique staging file,
-        then renamed over the destination.  ``os.replace`` is atomic on
-        POSIX and Windows, so concurrent writers of the same key are safe
-        (last writer wins with a complete file) and a crash mid-commit
-        leaves the previous state intact.
-        """
+    def put(self, key: str, payload: dict) -> None:
+        # the payload is fully written and flushed to a unique staging file,
+        # then renamed over the destination; ``os.replace`` is atomic on
+        # POSIX and Windows, so concurrent writers of the same key are safe
+        # and a crash mid-commit leaves the previous state intact
         destination = self.path_for(key)
         destination.parent.mkdir(parents=True, exist_ok=True)
         self._tmp.mkdir(parents=True, exist_ok=True)
@@ -269,28 +309,195 @@ class ResultStore:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(staging, destination)
-        if _telemetry.ENABLED:
-            _metrics.counter("store.put", kind=payload.get("kind", "unknown")).inc()
-        return destination
 
-    def __contains__(self, key: str) -> bool:
+    def contains(self, key: str) -> bool:
         return self.path_for(key).exists()
 
-    # -- maintenance ------------------------------------------------------
-
     def keys(self) -> Iterator[str]:
-        """All committed keys (no particular order)."""
         if not self._objects.is_dir():
             return
         for path in sorted(self._objects.glob("*/*.json")):
             yield path.stem
 
-    def entries(self) -> Iterator[dict]:
-        """All committed payloads (corrupt files are skipped)."""
-        for key in self.keys():
-            payload = self.get(key)
-            if payload is not None:
-                yield payload
+    def delete(self, key: str) -> bool:
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def entry_nbytes(self, key: str) -> int:
+        try:
+            return self.path_for(key).stat().st_size
+        except OSError:
+            return 0
+
+    def sweep_staging(self, max_age_seconds: float) -> int:
+        if not self._tmp.is_dir():
+            return 0
+        removed = 0
+        now = time.time()
+        for path in self._tmp.iterdir():
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # already gone (concurrent commit finished)
+            if age >= max_age_seconds:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    @property
+    def location(self) -> str:
+        return str(self.root)
+
+
+class DictBackend(StoreBackend):
+    """In-memory backend: a thread-safe dict of serialised payloads.
+
+    Payloads are stored as their JSON text (the same bytes
+    :class:`LocalDirBackend` would write), so entries are isolated from
+    caller-side mutation and ``get`` returns exactly what a disk round-trip
+    would.  Used by the serve unit tests (fast, no tmpdir churn) and handy
+    as a scratch cache for in-process experiments.
+    """
+
+    def __init__(self):
+        self._entries: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[dict]:
+        with self._lock:
+            text = self._entries.get(key)
+        return json.loads(text) if text is not None else None
+
+    def put(self, key: str, payload: dict) -> None:
+        text = json.dumps(payload)
+        with self._lock:
+            self._entries[key] = text
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            snapshot = list(self._entries)
+        yield from snapshot
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def entry_nbytes(self, key: str) -> int:
+        with self._lock:
+            text = self._entries.get(key)
+        return len(text) if text is not None else 0
+
+    @property
+    def location(self) -> str:
+        return f"<memory:{id(self):#x}>"
+
+
+# ---------------------------------------------------------------------------
+# the store facade
+
+
+class ResultStore:
+    """Content-addressed store of experiment records over a pluggable backend.
+
+    ``ResultStore(root)`` keeps the historical on-disk behaviour
+    (:class:`LocalDirBackend`); ``ResultStore(backend=...)`` mounts any
+    :class:`StoreBackend`.  Keys are self-certifying — the engine only looks
+    up keys it derived itself, so a store can be shared between branches,
+    machines and configurations without collisions, and many serve replicas
+    can mount the same backend as a common cache tier.
+
+    The facade owns the cross-backend concerns: telemetry (hit/miss/put
+    counters), schema-version hygiene (:meth:`gc`, :meth:`entries`,
+    :meth:`stats`) and the aggregate views the CLI renders.
+    """
+
+    def __init__(
+        self, root: str | os.PathLike | None = None, backend: Optional[StoreBackend] = None
+    ):
+        if backend is None:
+            if root is None:
+                raise ValueError("ResultStore needs a root directory or an explicit backend")
+            backend = LocalDirBackend(root)
+        elif root is not None:
+            raise ValueError("pass either a root directory or a backend, not both")
+        self.backend = backend
+        #: root path of the local-dir layout (``None`` for other backends)
+        self.root = getattr(backend, "root", None)
+
+    @classmethod
+    def from_environment(cls, root: Optional[str] = None) -> "ResultStore":
+        """Store at ``root`` if given, else :func:`default_store_root`."""
+        return cls(pathlib.Path(root).expanduser() if root else default_store_root())
+
+    # -- local-dir conveniences (delegated; raise for other backends) ------
+
+    @property
+    def _objects(self) -> pathlib.Path:
+        return self.backend._objects
+
+    @property
+    def _tmp(self) -> pathlib.Path:
+        return self.backend._tmp
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """On-disk location of one key (local-dir backend only)."""
+        return self.backend.path_for(key)
+
+    # -- primitives -------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The committed payload under ``key``, or ``None``.
+
+        Unreadable/corrupt entries read as misses (the cell recomputes and
+        the commit overwrites the bad entry) instead of failing the run.
+        """
+        payload = self.backend.get(key)
+        if payload is None:
+            if _telemetry.ENABLED:
+                _metrics.counter("store.get.miss").inc()
+            return None
+        if _telemetry.ENABLED:
+            _metrics.counter("store.get.hit", kind=payload.get("kind", "unknown")).inc()
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically commit ``payload`` under ``key``."""
+        self.backend.put(key, payload)
+        if _telemetry.ENABLED:
+            _metrics.counter("store.put", kind=payload.get("kind", "unknown")).inc()
+
+    def __contains__(self, key: str) -> bool:
+        return self.backend.contains(key)
+
+    # -- maintenance ------------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        """All committed keys (no particular order)."""
+        return self.backend.keys()
+
+    def entries(self, include_foreign: bool = False) -> Iterator[dict]:
+        """All committed payloads readable under the current schema.
+
+        Corrupt entries are skipped, and so are entries written under a
+        *different* ``STORE_SCHEMA_VERSION`` (their record layout is
+        unknowable here — a rolling-upgrade replica sharing the cache dir
+        with a newer writer must not crash on them).  Pass
+        ``include_foreign=True`` to yield them anyway.
+        """
+        for key in self.backend.keys():
+            payload = self.backend.get(key)
+            if payload is None:
+                continue
+            if not include_foreign and payload.get("schema_version") != STORE_SCHEMA_VERSION:
+                continue
+            yield payload
 
     #: staging files younger than this are presumed to belong to a live
     #: writer and are left alone by ``gc`` (commits take milliseconds, so
@@ -298,37 +505,29 @@ class ResultStore:
     STAGING_GRACE_SECONDS = 3600.0
 
     def gc(self) -> int:
-        """Remove stale-schema / corrupt entries and staging leftovers.
+        """Remove old-schema / corrupt entries and staging leftovers.
 
-        Entries whose recorded ``schema_version`` differs from
-        :data:`STORE_SCHEMA_VERSION` are unreachable (the version is part of
-        every key) and only cost disk; corrupt files can never be read.
-        Staging files are only swept once older than
-        :data:`STAGING_GRACE_SECONDS`, so ``gc`` is safe to run while an
-        experiment is committing.  Returns the number of files removed.
+        Entries whose recorded ``schema_version`` is *older* than
+        :data:`STORE_SCHEMA_VERSION` (or unreadable) are unreachable from
+        this process (the version is part of every key) and only cost disk.
+        Entries with a *newer* version are kept: on a cache dir shared
+        across a rolling upgrade they belong to a newer replica, and this
+        process must neither crash on them nor destroy them.  Staging files
+        are only swept once older than :data:`STAGING_GRACE_SECONDS`, so
+        ``gc`` is safe to run while an experiment is committing.  Returns
+        the number of entries removed.
         """
         removed = 0
-        if self._objects.is_dir():
-            for path in sorted(self._objects.glob("*/*.json")):
-                try:
-                    with open(path, "r", encoding="utf-8") as handle:
-                        payload = json.load(handle)
-                    stale = payload.get("schema_version") != STORE_SCHEMA_VERSION
-                except (OSError, ValueError):
-                    stale = True
-                if stale:
-                    path.unlink(missing_ok=True)
-                    removed += 1
-        if self._tmp.is_dir():
-            now = time.time()
-            for path in self._tmp.iterdir():
-                try:
-                    age = now - path.stat().st_mtime
-                except OSError:
-                    continue  # already gone (concurrent commit finished)
-                if age >= self.STAGING_GRACE_SECONDS:
-                    path.unlink(missing_ok=True)
-                    removed += 1
+        for key in list(self.backend.keys()):
+            payload = self.backend.get(key)
+            if payload is None:
+                stale = True  # corrupt: can never be read
+            else:
+                version = payload.get("schema_version")
+                stale = not isinstance(version, int) or version < STORE_SCHEMA_VERSION
+            if stale and self.backend.delete(key):
+                removed += 1
+        removed += self.backend.sweep_staging(self.STAGING_GRACE_SECONDS)
         return removed
 
     def clear(self) -> int:
@@ -338,54 +537,55 @@ class ResultStore:
         live staging files, so an experiment committing concurrently will
         fail its in-flight commit."""
         removed = 0
-        if self._objects.is_dir():
-            for path in sorted(self._objects.glob("*/*.json")):
-                path.unlink(missing_ok=True)
+        for key in list(self.backend.keys()):
+            if self.backend.delete(key):
                 removed += 1
-        if self._tmp.is_dir():
-            for path in self._tmp.iterdir():
-                path.unlink(missing_ok=True)
-                removed += 1
+        removed += self.backend.sweep_staging(0.0)
         return removed
 
     def stats(self) -> dict:
-        """Aggregate view for ``repro store ls``: counts, bytes, statuses."""
+        """Aggregate view for ``repro store ls``: counts, bytes, statuses.
+
+        Entries written under a different ``STORE_SCHEMA_VERSION`` are
+        counted under ``foreign_schema`` and excluded from the per-kind /
+        per-status tallies (their record layout is unknowable here), so a
+        rolling-upgrade replica can inspect a shared cache dir without
+        raising.
+        """
         entries = 0
         size = 0
+        foreign = 0
         kinds: dict[str, int] = {}
         statuses: dict[str, int] = {}
         formats: dict[str, int] = {}
-        if self._objects.is_dir():
-            for path in sorted(self._objects.glob("*/*.json")):
-                entries += 1
-                try:
-                    size += path.stat().st_size
-                    with open(path, "r", encoding="utf-8") as handle:
-                        payload = json.load(handle)
-                except (OSError, ValueError):
-                    kinds["corrupt"] = kinds.get("corrupt", 0) + 1
-                    continue
-                kind = payload.get("kind", "unknown")
-                kinds[kind] = kinds.get(kind, 0) + 1
-                record = payload.get("record", {})
-                if kind == "run":
-                    statuses[record.get("status", "?")] = (
-                        statuses.get(record.get("status", "?"), 0) + 1
-                    )
-                    formats[record.get("format", "?")] = (
-                        formats.get(record.get("format", "?"), 0) + 1
-                    )
+        for key in self.backend.keys():
+            entries += 1
+            size += self.backend.entry_nbytes(key)
+            payload = self.backend.get(key)
+            if payload is None:
+                kinds["corrupt"] = kinds.get("corrupt", 0) + 1
+                continue
+            if payload.get("schema_version") != STORE_SCHEMA_VERSION:
+                foreign += 1
+                continue
+            kind = payload.get("kind", "unknown")
+            kinds[kind] = kinds.get(kind, 0) + 1
+            record = payload.get("record", {})
+            if kind == "run":
+                statuses[record.get("status", "?")] = statuses.get(record.get("status", "?"), 0) + 1
+                formats[record.get("format", "?")] = formats.get(record.get("format", "?"), 0) + 1
         return {
-            "root": str(self.root),
+            "root": self.backend.location,
             "entries": entries,
             "bytes": size,
+            "foreign_schema": foreign,
             "kinds": kinds,
             "run_statuses": statuses,
             "run_formats": formats,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        return f"<ResultStore {str(self.root)!r}>"
+        return f"<ResultStore {self.backend.location!r}>"
 
 
 # ---------------------------------------------------------------------------

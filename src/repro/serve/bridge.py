@@ -1,0 +1,190 @@
+"""Worker bridge: cold cells onto a bounded pool via the plan/execute engine.
+
+A cold request becomes one ``solve_cell`` task: re-plan the single
+(matrix, format) cell against the store (another replica may have committed
+it meanwhile — then nothing executes) and run :func:`execute_plan` with the
+store attached, so the record and the per-matrix reference commit through
+the same atomic path as a batch run.  With the default ``"process"`` pool
+the task runs in a forked worker that opens its own handle onto the store
+directory; with a ``"thread"`` pool (unit tests, in-memory
+:class:`~repro.experiments.store.DictBackend`) it shares the service's
+store object.
+
+Admission control is the whole point of the bridge: the underlying
+:class:`~repro.utils.parallel.BoundedPool` accepts at most
+``workers + queue_limit`` unfinished solves and raises
+:class:`~repro.utils.parallel.PoolSaturatedError` beyond that.  The service
+maps that to ``503`` + ``Retry-After`` — an overloaded replica degrades
+into fast rejections with an honest backoff hint instead of an unbounded
+queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import math
+import time
+from typing import Callable, Optional
+
+from ..datasets.testmatrix import TestMatrix
+from ..experiments.config import ExperimentConfig
+from ..experiments.store import ExecutionReport, LocalDirBackend, ResultStore
+from ..telemetry import core as _telemetry
+from ..telemetry.metrics import metrics as _metrics
+from ..utils.parallel import BoundedPool, PoolSaturatedError
+
+__all__ = ["solve_cell", "WorkerBridge"]
+
+
+def solve_cell(
+    store: ResultStore,
+    test_matrix: TestMatrix,
+    format_name: str,
+    config: ExperimentConfig,
+) -> ExecutionReport:
+    """Solve one (matrix, format) cell through the plan/execute engine.
+
+    Planning subtracts anything the store already holds (a racing replica
+    may have won), execution commits the record and the per-matrix reference
+    atomically as they land.  Returns the execution report; the caller reads
+    the committed payload back from the store.
+    """
+    from ..experiments.store import execute_plan, plan_experiment
+
+    plan = plan_experiment([test_matrix], [format_name], config, store=store, use_cache=True)
+    result = execute_plan(plan, workers=1)
+    return result.report
+
+
+def _solve_cell_local(
+    root: str, test_matrix: TestMatrix, format_name: str, config: ExperimentConfig
+) -> ExecutionReport:
+    """Process-pool entry point: open the store by path in the worker."""
+    return solve_cell(ResultStore(root), test_matrix, format_name, config)
+
+
+class WorkerBridge:
+    """Submits cold-cell solves onto a bounded worker pool.
+
+    Parameters
+    ----------
+    store:
+        The service's result store.  A ``"process"`` pool requires a
+        :class:`~repro.experiments.store.LocalDirBackend` store (workers
+        re-open it by path); any backend works with a ``"thread"`` pool.
+    workers:
+        Concurrent solve slots (``<= 0``: all CPUs).
+    queue_limit:
+        Admitted-but-not-running solves beyond the slots; submissions past
+        ``workers + queue_limit`` raise
+        :class:`~repro.utils.parallel.PoolSaturatedError`.
+    kind:
+        ``"process"`` (default) or ``"thread"`` — see
+        :class:`~repro.utils.parallel.BoundedPool`.
+    solve_fn:
+        Override of :func:`solve_cell` with the same
+        ``(store, matrix, format, config)`` signature.  Tests inject gated
+        or counting solvers here; ``None`` uses the real engine.
+    """
+
+    #: completed-solve durations kept for the Retry-After estimate
+    _DURATION_WINDOW = 32
+    #: Retry-After clamp (seconds): never tell a client "0", never park it
+    #: for more than a minute
+    MIN_RETRY_AFTER = 1
+    MAX_RETRY_AFTER = 60
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 1,
+        queue_limit: int = 8,
+        kind: str = "process",
+        solve_fn: Optional[Callable] = None,
+    ):
+        if kind == "process" and solve_fn is None and not isinstance(
+            store.backend, LocalDirBackend
+        ):
+            raise ValueError(
+                "a process pool needs a local-dir store (workers re-open it by "
+                "path); use kind='thread' for in-memory backends"
+            )
+        self.store = store
+        self.kind = kind
+        self.solve_fn = solve_fn
+        self.pool = BoundedPool(workers=workers, queue_limit=queue_limit, kind=kind)
+        self._durations: collections.deque[float] = collections.deque(maxlen=self._DURATION_WINDOW)
+
+    @property
+    def depth(self) -> int:
+        """Solves currently admitted (running + queued)."""
+        return self.pool.depth
+
+    @property
+    def capacity(self) -> int:
+        return self.pool.capacity
+
+    def submit(
+        self, test_matrix: TestMatrix, format_name: str, config: ExperimentConfig
+    ) -> asyncio.Future:
+        """Submit one cold cell; returns an awaitable for its report.
+
+        Raises :class:`~repro.utils.parallel.PoolSaturatedError` when the
+        pool is full — the caller turns that into 503 + ``Retry-After``.
+        """
+        if self.solve_fn is not None:
+            future = self.pool.submit(self.solve_fn, self.store, test_matrix, format_name, config)
+        elif self.kind == "process":
+            future = self.pool.submit(
+                _solve_cell_local, str(self.store.root), test_matrix, format_name, config
+            )
+        else:
+            future = self.pool.submit(solve_cell, self.store, test_matrix, format_name, config)
+        submitted = time.perf_counter()
+        if _telemetry.ENABLED:
+            _metrics.counter("serve.solves").inc()
+            _metrics.gauge("serve.queue_depth").set(self.depth)
+
+        def _done(completed_future) -> None:
+            self._record_completion(completed_future, submitted)
+
+        future.add_done_callback(_done)
+        return asyncio.wrap_future(future)
+
+    def _record_completion(self, future, submitted: float) -> None:
+        total = time.perf_counter() - submitted
+        seconds = total
+        try:
+            report = future.result()
+            if isinstance(report, ExecutionReport) and report.wall_seconds > 0.0:
+                seconds = report.wall_seconds  # execution time without queue wait
+        except BaseException:
+            pass  # crashed/cancelled solves still inform the estimate via `total`
+        self._durations.append(seconds)
+        if _telemetry.ENABLED:
+            _metrics.histogram("serve.solve_seconds").observe(total)
+            _metrics.gauge("serve.queue_depth").set(self.depth)
+
+    def retry_after(self) -> int:
+        """Honest back-off hint (seconds) for a rejected request.
+
+        Estimates when the next slot frees: the average recent solve time
+        times the number of queued-task "rounds" ahead of a new arrival,
+        clamped to [:data:`MIN_RETRY_AFTER`, :data:`MAX_RETRY_AFTER`].
+        Before any solve completed the floor is returned.
+        """
+        if not self._durations:
+            return self.MIN_RETRY_AFTER
+        average = sum(self._durations) / len(self._durations)
+        rounds = max(1, math.ceil(self.depth / max(1, self.pool.workers)))
+        estimate = math.ceil(average * rounds)
+        return int(min(self.MAX_RETRY_AFTER, max(self.MIN_RETRY_AFTER, estimate)))
+
+    def shutdown(self) -> None:
+        """Stop the pool (queued, unstarted solves are cancelled)."""
+        self.pool.shutdown(wait=True)
+
+
+# re-exported for callers that handle saturation explicitly
+PoolSaturatedError = PoolSaturatedError

@@ -1,0 +1,290 @@
+"""Minimal asyncio HTTP/1.1 layer for the spectral-analysis service.
+
+No new runtime dependency: requests are parsed straight off the
+``asyncio.StreamReader`` and responses rendered to bytes.  The subset is
+exactly what the service needs — ``GET``/``POST``, query strings, JSON
+bodies bounded by ``Content-Length``, and HTTP/1.1 keep-alive (one
+connection serves many requests; ``Connection: close`` or EOF ends it).
+Chunked transfer encoding and HTTP/1.0 pipelining niceties are deliberately
+out of scope; a request using them gets a clean 4xx instead of undefined
+behaviour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import urllib.parse
+from typing import Awaitable, Callable, Optional
+
+__all__ = [
+    "HTTPError",
+    "Request",
+    "Response",
+    "AsyncHTTPServer",
+    "MAX_HEADER_BYTES",
+    "MAX_BODY_BYTES",
+]
+
+#: request line + headers larger than this are rejected with 431
+MAX_HEADER_BYTES = 16 * 1024
+#: bodies larger than this are rejected with 413 (cell requests are tiny)
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """Handler-raised error rendered as a JSON error response."""
+
+    def __init__(self, status: int, message: str, headers: Optional[dict] = None):
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+        super().__init__(f"{status}: {message}")
+
+    def to_response(self) -> "Response":
+        """The JSON error document for this failure."""
+        return Response.json_document(
+            {"error": self.message, "status": self.status},
+            status=self.status,
+            headers=self.headers,
+        )
+
+
+@dataclasses.dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The JSON object in the body (400 on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            document = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise HTTPError(400, "request body is not valid JSON") from None
+        if not isinstance(document, dict):
+            raise HTTPError(400, "request body must be a JSON object")
+        return document
+
+    @property
+    def wants_close(self) -> bool:
+        """Whether the client asked to drop the connection after this reply."""
+        return self.headers.get("connection", "").lower() == "close"
+
+
+@dataclasses.dataclass
+class Response:
+    """One response: status, body bytes, content type, extra headers."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def json_document(
+        cls, document, status: int = 200, headers: Optional[dict] = None
+    ) -> "Response":
+        """JSON-serialise ``document`` (sorted keys for stable output)."""
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        return cls(status=status, body=body, headers=dict(headers or {}))
+
+    @classmethod
+    def raw_json(cls, body: bytes, status: int = 200, headers: Optional[dict] = None) -> "Response":
+        """Pre-serialised JSON bytes, passed through untouched.
+
+        The warm serving path uses this so the response body is
+        byte-identical to the stored payload.
+        """
+        return cls(status=status, body=body, headers=dict(headers or {}))
+
+    @classmethod
+    def text(cls, content: str, status: int = 200) -> "Response":
+        return cls(status=status, body=content.encode("utf-8"), content_type="text/plain")
+
+    def render(self, keep_alive: bool) -> bytes:
+        """Serialise the full HTTP/1.1 response to wire bytes."""
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HTTPError` for malformed or unsupported requests — the
+    connection loop replies and closes.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests (keep-alive teardown)
+        raise HTTPError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HTTPError(431, f"request head exceeds {MAX_HEADER_BYTES} bytes") from None
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")[:-2]
+    except ValueError:
+        raise HTTPError(400, "malformed request head") from None
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HTTPError(400, f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    if method not in ("GET", "POST", "HEAD"):
+        raise HTTPError(501, f"method {method} not implemented")
+
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HTTPError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HTTPError(501, "chunked transfer encoding not supported")
+
+    parsed = urllib.parse.urlsplit(target)
+    query = {k: v[-1] for k, v in urllib.parse.parse_qs(parsed.query, keep_blank_values=True).items()}
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HTTPError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HTTPError(400, "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HTTPError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HTTPError(400, "truncated request body") from None
+
+    return Request(
+        method=method,
+        path=urllib.parse.unquote(parsed.path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+class AsyncHTTPServer:
+    """Keep-alive HTTP/1.1 server dispatching to one async handler.
+
+    The handler receives a :class:`Request` and returns a :class:`Response`;
+    raising :class:`HTTPError` produces the corresponding error reply, any
+    other exception a 500.  One connection serves requests sequentially
+    until EOF, ``Connection: close``, a protocol error, or the idle timeout.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Request], Awaitable[Response]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_timeout: float = 60.0,
+    ):
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.idle_timeout = idle_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set[asyncio.Task] = set()
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (updates ``port`` when 0)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port, limit=MAX_HEADER_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting connections and tear down the live ones."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        _read_request(reader), timeout=self.idle_timeout
+                    )
+                except asyncio.TimeoutError:
+                    break  # idle keep-alive connection: just drop it
+                except HTTPError as exc:
+                    writer.write(exc.to_response().render(keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                try:
+                    response = await self.handler(request)
+                except HTTPError as exc:
+                    response = exc.to_response()
+                except Exception as exc:  # handler bug: report, keep serving
+                    response = Response.json_document(
+                        {"error": f"internal error: {type(exc).__name__}: {exc}", "status": 500},
+                        status=500,
+                    )
+                keep_alive = not request.wants_close
+                if request.method == "HEAD":
+                    response = dataclasses.replace(response, body=b"")
+                writer.write(response.render(keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away or server shutting down
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -24,7 +24,7 @@ experiment CLI enables it automatically when ``--trace`` or
 from . import trace
 from .core import enabled, set_enabled
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
-from .report import TelemetryReport, render_trace_summary, summarize_trace
+from .report import TelemetryReport, render_prometheus, render_trace_summary, summarize_trace
 
 __all__ = [
     "trace",
@@ -38,4 +38,5 @@ __all__ = [
     "TelemetryReport",
     "summarize_trace",
     "render_trace_summary",
+    "render_prometheus",
 ]

@@ -24,6 +24,7 @@ __all__ = [
     "TelemetryReport",
     "summarize_trace",
     "render_trace_summary",
+    "render_prometheus",
 ]
 
 
@@ -54,6 +55,50 @@ class TelemetryReport:
     def to_dict(self) -> dict:
         """Plain-dict view (CLI ``--report-json`` embedding)."""
         return dataclasses.asdict(self)
+
+
+def _prometheus_name(flat_key: str) -> tuple[str, str]:
+    """Split a registry flat key into a Prometheus name and label block.
+
+    The registry renders instruments as ``name`` or ``name{k=v,...}``; the
+    exposition format wants underscores in metric names and quoted label
+    values (``serve_requests{route="cell",status="200"}``).
+    """
+    name, _, labels = flat_key.partition("{")
+    name = name.replace(".", "_")
+    if not labels:
+        return name, ""
+    pairs = []
+    for item in labels.rstrip("}").split(","):
+        key, _, value = item.partition("=")
+        pairs.append(f'{key}="{value}"')
+    return name, "{" + ",".join(pairs) + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Prometheus text exposition of a metrics-registry snapshot.
+
+    Counters and gauges render as single samples; histograms (streaming
+    count/sum/min/max summaries — the registry stores no buckets) render as
+    ``<name>_count`` / ``<name>_sum`` / ``<name>_min`` / ``<name>_max``
+    samples sharing the instrument's labels.  Backs the serve layer's
+    ``GET /metrics`` endpoint.
+    """
+    lines: list[str] = []
+    for flat_key, value in snapshot.get("counters", {}).items():
+        name, labels = _prometheus_name(flat_key)
+        lines.append(f"{name}{labels} {value}")
+    for flat_key, value in snapshot.get("gauges", {}).items():
+        name, labels = _prometheus_name(flat_key)
+        lines.append(f"{name}{labels} {value}")
+    for flat_key, summary in snapshot.get("histograms", {}).items():
+        name, labels = _prometheus_name(flat_key)
+        for part in ("count", "sum", "min", "max"):
+            sample = summary.get(part)
+            if sample is None:
+                sample = 0
+            lines.append(f"{name}_{part}{labels} {sample}")
+    return "\n".join(lines) + "\n"
 
 
 def _interval_union(intervals: list[tuple[float, float]]) -> float:

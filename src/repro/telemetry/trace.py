@@ -49,6 +49,7 @@ from . import core as _core
 
 __all__ = [
     "span",
+    "emit",
     "configure",
     "configured_path",
     "shutdown",
@@ -243,6 +244,39 @@ def span(name: str, **attrs):
     if writer is None:
         return _NULL_SPAN
     return Span(name, attrs, writer)
+
+
+def emit(name: str, t0_wall: float, dur: float, error: bool = False, **attrs) -> None:
+    """Emit one already-measured span event directly (no stack bookkeeping).
+
+    :func:`span` nests through a *thread-local* stack, which is wrong inside
+    an asyncio event loop: concurrent request coroutines interleave on one
+    thread, so a context-manager span opened in one request would adopt
+    another request's spans as children.  Async code (the serve layer)
+    measures ``t0``/``dur`` itself and emits the completed event here; the
+    event lands as a top-level span (``depth`` 0, ``self`` = ``dur``) in the
+    same JSON-lines format, so ``trace summarize`` aggregates it like any
+    other.
+    """
+    if not _core.ENABLED:
+        return
+    writer = _get_writer()
+    if writer is None:
+        return
+    event = {
+        "ev": "span",
+        "name": name,
+        "pid": os.getpid(),
+        "t0": round(t0_wall, 6),
+        "dur": round(dur, 9),
+        "self": round(dur, 9),
+        "depth": 0,
+    }
+    if attrs:
+        event["attrs"] = attrs
+    if error:
+        event["error"] = True
+    writer.write(event)
 
 
 def collate(path: Optional[str] = None) -> int:

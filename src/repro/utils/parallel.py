@@ -23,9 +23,11 @@ what a re-invocation can resume from.
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 from typing import Any, Callable, Optional, Sequence
@@ -38,6 +40,8 @@ __all__ = [
     "parallel_map",
     "TaskOutcome",
     "ParallelTaskError",
+    "PoolSaturatedError",
+    "BoundedPool",
 ]
 
 
@@ -222,3 +226,97 @@ def _finalise(outcomes: list, capture: bool) -> list:
         if outcome is not None and not outcome.ok:
             raise ParallelTaskError(outcome.index, outcome.error)
     return [outcome.value for outcome in outcomes]
+
+
+# ---------------------------------------------------------------------------
+# bounded-submission executor (the serve worker-pool plumbing)
+
+
+class PoolSaturatedError(RuntimeError):
+    """A :class:`BoundedPool` refused a submission: every slot is taken.
+
+    Carries the observed ``depth`` and the pool ``capacity`` so the caller
+    can degrade gracefully (the serve layer turns this into HTTP 503 with a
+    ``Retry-After`` estimate) instead of queueing without bound.
+    """
+
+    def __init__(self, depth: int, capacity: int):
+        self.depth = depth
+        self.capacity = capacity
+        super().__init__(f"pool saturated: {depth} tasks in flight (capacity {capacity})")
+
+
+class BoundedPool:
+    """Executor with a hard cap on in-flight work: run slots + a small queue.
+
+    ``parallel_map`` suits batch runs that hand over a fixed task list; a
+    long-running service needs the opposite shape — one task at a time,
+    admission control first.  ``submit`` accepts at most
+    ``workers + queue_limit`` unfinished tasks and raises
+    :class:`PoolSaturatedError` beyond that, so a request burst degrades
+    into fast rejections instead of an unbounded queue (and, with process
+    workers, unbounded memory).
+
+    ``kind`` selects the executor: ``"process"`` (default) isolates solver
+    work in forked worker processes — create the pool *after* warming the
+    rounding tables so workers inherit them copy-on-write; ``"thread"``
+    shares the calling process (used by the serve unit tests, where the
+    store backend lives in memory).  Process workers are spawned lazily by
+    ``concurrent.futures`` on first submission.
+    """
+
+    def __init__(self, workers: int = 1, queue_limit: int = 8, kind: str = "process"):
+        if kind not in ("process", "thread"):
+            raise ValueError(f"unknown pool kind {kind!r}; use 'process' or 'thread'")
+        if workers <= 0:
+            workers = multiprocessing.cpu_count()
+        self.workers = workers
+        self.queue_limit = max(0, queue_limit)
+        self.kind = kind
+        if kind == "process":
+            self._executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        else:
+            self._executor = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+        self._lock = threading.Lock()
+        self._inflight = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of unfinished tasks ``submit`` accepts."""
+        return self.workers + self.queue_limit
+
+    @property
+    def depth(self) -> int:
+        """Unfinished tasks currently admitted (running + queued)."""
+        with self._lock:
+            return self._inflight
+
+    def submit(self, fn: Callable, *args) -> concurrent.futures.Future:
+        """Submit ``fn(*args)``; raises :class:`PoolSaturatedError` when full."""
+        with self._lock:
+            if self._inflight >= self.capacity:
+                raise PoolSaturatedError(self._inflight, self.capacity)
+            self._inflight += 1
+        try:
+            future = self._executor.submit(fn, *args)
+        except BaseException:
+            with self._lock:
+                self._inflight -= 1
+            raise
+        future.add_done_callback(self._release)
+        return future
+
+    def _release(self, _future: concurrent.futures.Future) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the executor; pending (queued, unstarted) tasks are cancelled."""
+        self._executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "BoundedPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False

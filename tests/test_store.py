@@ -20,8 +20,11 @@ import pytest
 from repro.core.results import PartialSchurResult
 from repro.datasets import suitesparse_like
 from repro.experiments import (
+    DictBackend,
     ExperimentConfig,
+    LocalDirBackend,
     ResultStore,
+    StoreBackend,
     figure_json,
     matrix_fingerprint,
     reference_key,
@@ -244,6 +247,83 @@ class TestResultStore:
         monkeypatch.delenv("REPRO_STORE")
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
         assert store_mod.default_store_root() == tmp_path / "xdg" / "repro-store"
+
+
+class TestStoreBackends:
+    def test_backend_interface_is_abstract(self):
+        with pytest.raises(TypeError):
+            StoreBackend()  # get/put/contains/keys/delete are required
+        assert isinstance(LocalDirBackend.__new__(LocalDirBackend), StoreBackend)
+        assert isinstance(DictBackend(), StoreBackend)
+
+    def test_store_requires_exactly_one_of_root_and_backend(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore()
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "store", backend=DictBackend())
+
+    def test_dict_backend_primitives(self):
+        backend = DictBackend()
+        key = "ab" + "0" * 62
+        assert backend.get(key) is None and not backend.contains(key)
+        backend.put(key, {"schema_version": 1, "kind": "run"})
+        assert backend.contains(key)
+        assert list(backend.keys()) == [key]
+        assert backend.entry_nbytes(key) == len(json.dumps({"schema_version": 1, "kind": "run"}))
+        assert backend.delete(key) and not backend.delete(key)
+        assert backend.location.startswith("<memory:")
+
+    def test_dict_backend_isolates_payloads(self):
+        backend = DictBackend()
+        key = "cd" + "0" * 62
+        payload = {"schema_version": 1, "record": {"x": 1}}
+        backend.put(key, payload)
+        payload["record"]["x"] = 999  # caller mutates its own dict afterwards
+        first = backend.get(key)
+        first["record"]["x"] = -1  # ... and the returned copy too
+        assert backend.get(key)["record"] == {"x": 1}
+
+    def test_dict_backend_matches_disk_bytes(self, tmp_path):
+        """Both backends hold the identical serialised form of a payload."""
+        payload = {"schema_version": 1, "kind": "run", "record": {"b": 2, "a": 1}}
+        key = "ef" + "0" * 62
+        disk = ResultStore(tmp_path / "store")
+        disk.put(key, payload)
+        memory = DictBackend()
+        memory.put(key, payload)
+        assert disk.path_for(key).read_bytes() == memory._entries[key].encode("utf-8")
+
+    def test_experiment_engine_runs_on_dict_backend(self, suite, config, solver_calls):
+        store = ResultStore(backend=DictBackend())
+        cold = run_experiment(suite[:1], FORMATS, config, store=store, workers=1)
+        assert cold.report.executed == len(FORMATS)
+        solver_calls.clear()
+        warm = run_experiment(suite[:1], FORMATS, config, store=store, workers=1)
+        assert warm.report.executed == 0 and solver_calls == []
+        assert store.root is None  # no filesystem behind this store
+
+    def test_stats_and_entries_tolerate_newer_schema(self, store):
+        record = RunRecord(matrix="m", group="g", category="c", format="posit16", status="ok")
+        store.put("11" + "0" * 62, run_record_to_payload(record, "11" + "0" * 62))
+        store.put(
+            "22" + "0" * 62,
+            {"schema_version": store_mod.STORE_SCHEMA_VERSION + 1, "kind": "run"},
+        )
+        stats = store.stats()
+        # a rolling upgrade leaves newer-schema entries behind: count them,
+        # keep them out of the kind/status breakdowns, and don't raise
+        assert stats["entries"] == 2
+        assert stats["foreign_schema"] == 1
+        assert stats["kinds"] == {"run": 1}
+        assert len(list(store.entries())) == 1
+        assert len(list(store.entries(include_foreign=True))) == 2
+
+    def test_gc_keeps_newer_schema_entries(self, store):
+        store.put("33" + "0" * 62, {"schema_version": store_mod.STORE_SCHEMA_VERSION + 1})
+        store.put("44" + "0" * 62, {"schema_version": store_mod.STORE_SCHEMA_VERSION - 1})
+        store.put("55" + "0" * 62, {"schema_version": "not-an-int"})
+        assert store.gc() == 2  # older + unparseable go; newer survives
+        assert ("33" + "0" * 62) in store
 
 
 def _record_view(records):

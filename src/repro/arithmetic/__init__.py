@@ -81,10 +81,16 @@ from .context import (
 )
 from .farray import (
     BoundNamespace,
+    ContextMismatchError,
     FArray,
     FScalar,
     PrecisionLeakError,
     precision,
+)
+from .batched import (
+    BatchedContext,
+    BatchedFArray,
+    BatchSpec,
 )
 
 __all__ = [
@@ -140,5 +146,9 @@ __all__ = [
     "FArray",
     "FScalar",
     "PrecisionLeakError",
+    "ContextMismatchError",
     "precision",
+    "BatchSpec",
+    "BatchedContext",
+    "BatchedFArray",
 ]

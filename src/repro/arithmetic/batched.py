@@ -1,0 +1,824 @@
+"""Stacked multi-format execution: a first-class format axis.
+
+The paper's central experiment runs the *same* Krylov-Schur solve once per
+number format.  The sequential engine pays the Python-level dispatch of
+every rounded elementary operation (the Givens/QL scalar regime) once per
+format.  This module introduces a batched execution model in which a stack
+of ``(n_formats, ...)`` trajectories advances in lockstep:
+
+* :class:`BatchSpec` binds an *ordered* list of
+  :class:`~repro.arithmetic.context.ContextSpec` values and partitions them
+  into work-dtype *lanes* (float64, float32, longdouble) — per-row work-dtype
+  promotion is handled at this boundary, so every lane computes in exactly
+  the dtype its sequential contexts would have used;
+* :class:`BatchedContext` owns one context per batch row and exposes the
+  same rounded-operation vocabulary as
+  :class:`~repro.arithmetic.context.ComputeContext`, operating on stacked
+  arrays whose leading axis is the format axis.  Every element of a result
+  is rounded by *its own row's* format — narrow formats through the stacked
+  integer bit-kernel tables, wide two-word formats through their own
+  context's rounding backend;
+* :class:`BatchedFArray` is the operator-form wrapper over a stacked array
+  (the batched sibling of :class:`~repro.arithmetic.farray.FArray`).
+
+Bit identity is the design contract, exactly as for the operator API: for
+each batch row, every batched operation performs the *same* work-precision
+computation and the *same* rounding as the sequential context would, so the
+per-format trajectories of the lockstep solvers
+(:mod:`repro.core.lockstep`) are bit-identical to the sequential engine
+(proven in ``tests/test_lockstep.py``).  Two properties make this possible:
+
+1. IEEE elementwise operations are deterministic: ``np.add`` on a stacked
+   float64 row computes the same bits as the sequential scalar path's
+   ``float(a) + float(b)``;
+2. the rounding backends are value-identical (table == analytic == bit
+   kernel, proven in the bit-kernel test suite), so a row may be rounded by
+   whichever backend is fastest for the stacked layout.
+
+The stacked rounder concatenates the per-row 4096-entry exponent-field
+tables of the one-word integer bit kernels (:mod:`repro.arithmetic.
+bitkernels`) into one ``(n_formats * 4096)`` table indexed by
+``row * 4096 + (word >> 52)``, so one fused vector pass rounds every row by
+its own format.  Rows the kernels cannot serve (two-word 64-bit formats,
+forced-table or analytic-verification contexts) fall back to their own
+context's ``round`` / ``round_scalar`` — slower, still bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitkernels import _SPECIAL_IDENTITY, _SPECIAL_RESOLVE
+from .context import (
+    ComputeContext,
+    ContextSpec,
+    EmulatedContext,
+    NativeContext,
+    get_context,
+)
+
+__all__ = ["BatchSpec", "BatchedContext", "BatchedFArray"]
+
+_U = np.uint64
+
+#: row-rounding modes
+_IDENTITY = 0  # native dtype rows: rounding is the identity on lane values
+_KERNEL = 1  # one-word integer bit kernel: served by the stacked tables
+_FALLBACK = 2  # everything else: per-row ctx.round / round_scalar
+
+
+def _as_spec(spec) -> ContextSpec:
+    if isinstance(spec, ContextSpec):
+        return spec
+    if isinstance(spec, str):
+        return ContextSpec(format=spec)
+    raise TypeError(f"expected ContextSpec or format name, got {type(spec).__name__}")
+
+
+class BatchSpec:
+    """An ordered list of context specs forming one format axis.
+
+    The order is the row order of every stacked array; results are reported
+    in the same order.  All specs must agree on ``accumulation`` (mixing
+    reduction orders in one lockstep sweep would make the shared index
+    bookkeeping ambiguous); ``count_ops`` may vary per row.
+
+    Rows may also be given as already-built
+    :class:`~repro.arithmetic.context.ComputeContext` instances;
+    :meth:`build_contexts` then returns those exact instances, so a caller
+    (the experiment runner) keeps ownership of per-row state such as the
+    rounded-op tally.
+    """
+
+    def __init__(self, specs):
+        items = list(specs)
+        if not items:
+            raise ValueError("BatchSpec needs at least one context spec")
+        prebuilt: list = []
+        canonical: list = []
+        for s in items:
+            if isinstance(s, ComputeContext):
+                prebuilt.append(s)
+                canonical.append(
+                    ContextSpec(
+                        format=s.name,
+                        accumulation=s.accumulation,
+                        use_tables=getattr(s, "use_tables", None),
+                        count_ops=s.count_ops,
+                    )
+                )
+            else:
+                prebuilt.append(None)
+                canonical.append(_as_spec(s))
+        accumulations = {s.accumulation for s in canonical}
+        if len(accumulations) > 1:
+            raise ValueError(
+                "all batched specs must share one accumulation strategy, got "
+                f"{sorted(accumulations)}"
+            )
+        self.specs = tuple(canonical)
+        self._prebuilt = prebuilt
+        self.accumulation = self.specs[0].accumulation
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    @property
+    def formats(self) -> tuple:
+        return tuple(s.format for s in self.specs)
+
+    def build_contexts(self) -> list:
+        """One sequential compute context per row, in row order.
+
+        Rows given as prebuilt contexts come back as those instances."""
+        return [
+            ctx if ctx is not None else get_context(s)
+            for ctx, s in zip(self._prebuilt, self.specs)
+        ]
+
+    def lanes(self):
+        """Partition the rows into work-dtype lanes.
+
+        Returns ``[(contexts, indices), ...]`` where ``indices`` are the
+        positions of the lane's rows in the original order.  Each lane is
+        dtype-uniform, so a :class:`BatchedContext` can be built per lane
+        and the per-row work-dtype promotion happens exactly here — at the
+        batch boundary, never inside a kernel.
+        """
+        contexts = self.build_contexts()
+        groups: dict = {}
+        order: list = []
+        for idx, ctx in enumerate(contexts):
+            key = np.dtype(ctx.dtype).name
+            if key not in groups:
+                groups[key] = ([], [])
+                order.append(key)
+            groups[key][0].append(ctx)
+            groups[key][1].append(idx)
+        return [groups[key] for key in order]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"BatchSpec({list(self.formats)!r})"
+
+
+class _RowRounder:
+    """Rounds each row of a stacked lane array by its own format.
+
+    When every row is served by a one-word integer bit kernel (or is a
+    native-dtype identity row), the rounder runs one fused pass over the
+    stacked array using the concatenated per-row tables; otherwise it loops
+    over the rows and delegates to each row's own context backend.  Both
+    paths produce bit-identical values (backend equivalence).
+    """
+
+    #: exponent-field table length of the one-word kernels (sign-mirrored)
+    _TABLE = 4096
+
+    def __init__(self, contexts):
+        self.contexts = contexts
+        nrows = len(contexts)
+        modes = []
+        kernels = []
+        lane_dtype = contexts[0].dtype
+        for ctx in contexts:
+            mode, kern = self._classify(ctx, lane_dtype)
+            modes.append(mode)
+            kernels.append(kern)
+        self.modes = modes
+        self.kernels = kernels
+        #: rounding is the identity for every row (pure native lanes)
+        self.noop = all(m == _IDENTITY for m in modes)
+        #: one fused stacked pass serves every row
+        self.stacked = (
+            not self.noop
+            and lane_dtype is np.float64
+            and all(m in (_IDENTITY, _KERNEL) for m in modes)
+        )
+        if self.stacked:
+            T = self._TABLE
+            shift = np.ones(nrows * T, dtype=_U)
+            bias = np.zeros(nrows * T, dtype=_U)
+            special = np.zeros(nrows * T, dtype=np.uint8)
+            for i, (mode, kern) in enumerate(zip(modes, kernels)):
+                sl = slice(i * T, (i + 1) * T)
+                if mode == _IDENTITY:
+                    special[sl] = _SPECIAL_IDENTITY
+                else:
+                    if len(kern._shift) != T:
+                        raise AssertionError("one-word kernel table size mismatch")
+                    shift[sl] = kern._shift
+                    bias[sl] = kern._bias
+                    special[sl] = kern._special
+            self._shift_all = shift
+            self._bias_all = bias
+            self._special_all = special
+            self._scratch: dict = {}
+            self._last_size = -1
+            self._last_bufs: tuple = ()
+            #: identity entries exist only for native rows or kernels with
+            #: identity binades; without them ``special`` is 0/RESOLVE and
+            #: the per-call IDENTITY scan can be skipped entirely
+            self._any_identity = any(
+                m == _IDENTITY or (k is not None and k._has_identity)
+                for m, k in zip(modes, kernels)
+            )
+            #: zero-word mask per batch row: unsigned-zero formats clear the
+            #: word, IEEE-style formats keep the signed-zero bit pattern
+            self._zero_mask = np.array(
+                [
+                    _U(0) if (k is not None and k.unsigned_zero) else _U(0xFFFFFFFFFFFFFFFF)
+                    for k in kernels
+                ],
+                dtype=_U,
+            )
+            #: (rows bytes, per_row) -> precomputed flat table offsets; the
+            #: same sub-batch rounds thousands of times per sweep, so the
+            #: multiply+repeat is worth caching
+            self._offsets: dict = {}
+
+    @staticmethod
+    def _classify(ctx, lane_dtype):
+        if isinstance(ctx, NativeContext):
+            return _IDENTITY, None
+        if not isinstance(ctx, EmulatedContext):  # pragma: no cover - defensive
+            return _FALLBACK, None
+        if ctx.use_tables is False or ctx._forced_table is not None:
+            # verification / forced-table contexts: honour the row's own
+            # backend selection through its round()/round_scalar()
+            return _FALLBACK, None
+        kern = ctx.format.bitkernel()
+        if (
+            lane_dtype is np.float64
+            and kern is not None
+            and kern.WORD_FRAC_BITS == 52  # one-word kernels only
+        ):
+            return _KERNEL, kern
+        return _FALLBACK, None
+
+    def _scratch_for(self, size: int):
+        if size == self._last_size:  # consecutive same-shape ops dominate
+            return self._last_bufs
+        bufs = self._scratch.get(size)
+        if bufs is None:
+            bufs = (
+                np.empty(size, dtype=np.int64),  # flat table index
+                np.empty(size, dtype=_U),  # per-element shift
+                np.empty(size, dtype=_U),  # lsb / scratch
+                np.empty(size, dtype=_U),  # accumulator (rounded word)
+                np.empty(size, dtype=np.uint8),  # special mask
+            )
+            if size <= 1 << 16 and len(self._scratch) < 32:
+                self._scratch[size] = bufs
+        self._last_size = size
+        self._last_bufs = bufs
+        return bufs
+
+    def round(self, arr: np.ndarray, rows: np.ndarray) -> None:
+        """Round ``arr`` in place; ``rows[i]`` is the format row of
+        ``arr[i]`` (the leading axis is the format axis)."""
+        if self.noop:
+            return
+        if self.stacked:
+            self._stacked_round(arr, rows)
+            return
+        contexts = self.contexts
+        if arr.ndim == 1:
+            for i in range(arr.shape[0]):
+                arr[i] = contexts[rows[i]].round_scalar(arr[i])
+            return
+        for i in range(arr.shape[0]):
+            row = arr[i]
+            contexts[rows[i]].round(row, out=row)
+
+    def _offsets_for(self, rows: np.ndarray, per_row: int) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        key = (rows.tobytes(), per_row)
+        off = self._offsets.get(key)
+        if off is None:
+            off = (rows * self._TABLE).repeat(per_row)
+            if len(self._offsets) < 256:
+                self._offsets[key] = off
+        return off
+
+    def _stacked_round(self, arr: np.ndarray, rows: np.ndarray) -> None:
+        if arr.flags["C_CONTIGUOUS"]:
+            buf = arr
+        else:
+            buf = np.ascontiguousarray(arr)
+        flat = buf.reshape(-1)
+        u = flat.view(_U)
+        size = flat.size
+        per_row = size // len(rows)
+        idx, shift, lsb, acc, spec = self._scratch_for(size)
+        np.right_shift(u, _U(52), out=idx.view(_U))
+        # per-element table offset: row * 4096 (+ the word's exponent field)
+        np.add(idx, self._offsets_for(rows, per_row), out=idx)
+        self._shift_all.take(idx, out=shift)
+        # RNE transform: ((u + (half - 1) + lsb) >> s) << s, ties to even
+        np.right_shift(u, shift, out=lsb)
+        np.bitwise_and(lsb, _U(1), out=lsb)
+        self._bias_all.take(idx, out=acc)
+        np.add(acc, u, out=acc)
+        np.add(acc, lsb, out=acc)
+        np.right_shift(acc, shift, out=acc)
+        np.left_shift(acc, shift, out=acc)
+        self._special_all.take(idx, out=spec)
+        if spec.any():
+            if self._any_identity:
+                np.copyto(acc, u, where=spec == _SPECIAL_IDENTITY)
+                mask = spec == _SPECIAL_RESOLVE
+                if mask.any():
+                    self._resolve_specials(flat, u, acc, mask, rows, per_row)
+            else:
+                # the table holds only 0/RESOLVE entries: any special needs
+                # resolution and the IDENTITY scan can be skipped
+                self._resolve_specials(flat, u, acc, spec.view(np.bool_), rows, per_row)
+        flat.view(_U)[...] = acc
+        if buf is not arr:
+            # arr was not contiguous: the transform ran on a copy, so copy
+            # the rounded values back through the float view
+            arr[...] = buf
+
+    def _resolve_specials(self, flat, u, acc, mask, rows, per_row) -> None:
+        """Resolve masked elements through each row's *sequential* backend.
+
+        Exact zeros — by far the most common special in solver data — are
+        peeled inline, vectorised across all rows at once (bit-identical in
+        every backend: unsigned-zero formats clear the word, IEEE-style
+        formats keep the signed-zero pattern); the remaining special-band
+        elements — subnormal, overflow and non-finite regions — are rounded
+        by the row context itself, so even NaN payload bits match what the
+        sequential engine produces (the table and kernel backends differ in
+        the NaN sign bit, and a NaN's sign can leak into finite values
+        through ``copysign``).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        sel = np.nonzero(mask)[0]
+        vals = flat[sel]
+        nonzero = vals != 0.0
+        if not nonzero.all():
+            zsel = sel if not nonzero.any() else sel[~nonzero]
+            acc[zsel] = u[zsel] & self._zero_mask[rows[zsel // per_row]]
+            if not nonzero.any():
+                return
+            sel = sel[nonzero]
+        nzrows = rows[sel // per_row]
+        order = np.argsort(nzrows, kind="stable")
+        sel = sel[order]
+        nzrows = nzrows[order]
+        bounds = np.nonzero(np.diff(nzrows))[0] + 1
+        for segment in np.split(sel, bounds):
+            ctx = self.contexts[rows[segment[0] // per_row]]
+            acc[segment] = np.asarray(ctx.round(flat[segment])).view(_U)
+
+
+class BatchedContext:
+    """Rounded stacked operations over one work-dtype lane of a batch.
+
+    The methods mirror :class:`~repro.arithmetic.context.ComputeContext`
+    op for op — same work-precision computation, same reduction pairing,
+    same branch structure — on arrays whose *leading axis is the format
+    axis*.  Every method takes ``rows``: an int array mapping each leading
+    index to its batch row, so sub-batches (retirement masks, per-row
+    divergence) gather the active rows, operate, and scatter back.
+
+    All rows must share one work dtype (build one context per
+    :meth:`BatchSpec.lanes` lane) and one accumulation strategy.
+    """
+
+    def __init__(self, contexts):
+        if isinstance(contexts, BatchSpec):
+            contexts = contexts.build_contexts()
+        contexts = list(contexts)
+        if not contexts:
+            raise ValueError("BatchedContext needs at least one context")
+        for ctx in contexts:
+            if not isinstance(ctx, ComputeContext):
+                raise TypeError("BatchedContext rows must be ComputeContext instances")
+        dtypes = {np.dtype(ctx.dtype) for ctx in contexts}
+        if len(dtypes) > 1:
+            raise ValueError(
+                "BatchedContext rows must share one work dtype (split the "
+                f"batch into lanes first), got {sorted(d.name for d in dtypes)}"
+            )
+        accumulations = {ctx.accumulation for ctx in contexts}
+        if len(accumulations) > 1:
+            raise ValueError("BatchedContext rows must share one accumulation strategy")
+        self.rows = tuple(contexts)
+        self.nrows = len(contexts)
+        self.dtype = contexts[0].dtype
+        self.accumulation = contexts[0].accumulation
+        self.count_ops = any(ctx.count_ops for ctx in contexts)
+        self.names = tuple(ctx.name for ctx in contexts)
+        self._rounder = _RowRounder(contexts)
+        #: deferred per-op tallies: (rows, elements-per-row) pairs folded
+        #: into the row contexts' op counters at flush_op_counts()
+        self._pending_tallies: list = []
+        #: identity row-map for full-batch operations
+        self.all_rows = np.arange(self.nrows, dtype=np.int64)
+
+    @classmethod
+    def from_formats(cls, formats, **spec_kwargs) -> "BatchedContext":
+        """Build a single-lane batched context from format names.
+
+        Raises when the formats span several work dtypes; use
+        :meth:`BatchSpec.lanes` for mixed-width batches.
+        """
+        return cls(BatchSpec(ContextSpec(format=f, **spec_kwargs) for f in formats))
+
+    # ------------------------------------------------------------------ #
+    # rounding & tallies
+    # ------------------------------------------------------------------ #
+    def _tally(self, rows, n: int) -> None:
+        if self.count_ops:
+            self._pending_tallies.append((rows, n))
+
+    def flush_op_counts(self) -> None:
+        """Fold the deferred per-op tallies into the row contexts.
+
+        The batched ops defer their tallies (appending a pair is far
+        cheaper than a scatter-add per elementary op); the lockstep solvers
+        flush at phase boundaries so ``ctx.op_count`` of each row stays
+        meaningful for records and telemetry.
+        """
+        if not self._pending_tallies:
+            return
+        totals = np.zeros(self.nrows, dtype=np.int64)
+        for rows, n in self._pending_tallies:
+            np.add.at(totals, rows, n)
+        self._pending_tallies.clear()
+        for i, ctx in enumerate(self.rows):
+            if ctx.count_ops and totals[i]:
+                ctx.op_count += int(totals[i])
+
+    def round(self, arr: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Round ``arr`` in place, each leading-axis slice by its row's
+        format, and return it."""
+        self._rounder.round(arr, rows)
+        return arr
+
+    # ------------------------------------------------------------------ #
+    # elementwise operations (mirroring ComputeContext op for op)
+    # ------------------------------------------------------------------ #
+    def add(self, a, b, rows, out=None):
+        work = np.add(a, b, dtype=self.dtype, out=out)
+        self._tally(rows, work.size // len(rows))
+        return self.round(work, rows)
+
+    def sub(self, a, b, rows, out=None):
+        work = np.subtract(a, b, dtype=self.dtype, out=out)
+        self._tally(rows, work.size // len(rows))
+        return self.round(work, rows)
+
+    def mul(self, a, b, rows, out=None):
+        work = np.multiply(a, b, dtype=self.dtype, out=out)
+        self._tally(rows, work.size // len(rows))
+        return self.round(work, rows)
+
+    def div(self, a, b, rows, out=None):
+        work = np.divide(a, b, dtype=self.dtype, out=out)
+        self._tally(rows, work.size // len(rows))
+        return self.round(work, rows)
+
+    def sqrt(self, a, rows, out=None):
+        a = np.asarray(a, dtype=self.dtype)
+        work = np.sqrt(a, out=out)
+        if self.dtype is np.float64:
+            # the sequential scalar path computes math.sqrt with a negative
+            # guard returning +NaN; canonicalise so the bits agree
+            neg = a < 0
+            if neg.any():
+                work[neg] = np.nan
+        self._tally(rows, work.size // len(rows))
+        return self.round(work, rows)
+
+    def neg(self, a):
+        """Exact negation (sign flips are exact in every supported format)."""
+        return np.negative(np.asarray(a, dtype=self.dtype))
+
+    def abs(self, a):
+        """Exact magnitude (representable whenever the value is)."""
+        return np.abs(np.asarray(a, dtype=self.dtype))
+
+    def hypot(self, a, b, rows):
+        """Overflow-safe ``sqrt(a^2 + b^2)``, the scalar-branch structure of
+        :meth:`ComputeContext.hypot` applied per row.
+
+        NaN / zero / infinite scales short-circuit exactly like the
+        sequential scalar path (no rounded operations for those rows); the
+        general rows run the five-operation scaled form in one sub-batch.
+        """
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        aa = np.abs(a)
+        ab = np.abs(b)
+        nanm = np.isnan(aa) | np.isnan(ab)
+        scale = np.maximum(aa, ab)
+        small = np.minimum(aa, ab)
+        zerom = (scale == 0) & ~nanm
+        infm = np.isinf(scale) & ~nanm
+        general = ~(nanm | zerom | infm)
+        if general.all():
+            t = self.div(small, scale, rows)
+            one = self.dtype(1.0)
+            return self.mul(
+                scale, self.sqrt(self.add(one, self.mul(t, t, rows), rows), rows), rows
+            )
+        res = np.empty(scale.shape, dtype=self.dtype)
+        res[nanm] = self.dtype(np.nan)
+        res[zerom] = self.dtype(0.0)
+        res[infm] = self.dtype(np.inf)
+        if general.any():
+            gi = np.nonzero(general)[0]
+            sub_rows = rows[gi]
+            t = self.div(small[gi], scale[gi], sub_rows)
+            one = self.dtype(1.0)
+            res[gi] = self.mul(
+                scale[gi],
+                self.sqrt(self.add(one, self.mul(t, t, sub_rows), sub_rows), sub_rows),
+                sub_rows,
+            )
+        return res
+
+    # ------------------------------------------------------------------ #
+    # reductions & dense kernels
+    # ------------------------------------------------------------------ #
+    def reduce_last_inplace(self, buf: np.ndarray, rows) -> np.ndarray:
+        """Rounded reduction along the last axis of an *owned* buffer.
+
+        Mirrors :meth:`ComputeContext._reduce_last_axis_inplace` exactly:
+        the pairwise strategy pairs live partials on a doubling stride, so
+        the per-row pairing — and every intermediate rounding — is
+        identical to the sequential reduction of each row.
+        """
+        m = buf.shape[-1]
+        if m == 0:
+            return np.zeros(buf.shape[:-1], dtype=self.dtype)
+        if m > 1:
+            if self.accumulation == "pairwise":
+                step, count = 1, m
+                while count > 1:
+                    half = count // 2
+                    even = buf[..., 0 : 2 * half * step : 2 * step]
+                    odd = buf[..., step : 2 * half * step : 2 * step]
+                    work = np.add(even, odd)
+                    self._tally(rows, work.size // len(rows))
+                    self.round(work, rows)
+                    even[...] = work
+                    count = half + (count & 1)
+                    step *= 2
+            else:
+                acc = np.ascontiguousarray(buf[..., 0])
+                for j in range(1, m):
+                    self.add(acc, buf[..., j], rows, out=acc)
+                return acc
+        return np.ascontiguousarray(buf[..., 0])
+
+    def dot(self, x, y, rows) -> np.ndarray:
+        """Rowwise inner product ``(R, n) x (R, n) -> (R,)``."""
+        return self.reduce_last_inplace(self.mul(x, y, rows), rows)
+
+    def norm2(self, X, rows) -> np.ndarray:
+        """Rowwise scaled Euclidean norm ``(R, n) -> (R,)``.
+
+        Mirrors :meth:`ComputeContext.norm2` per row, including the exact
+        zero / non-finite scale short-circuits (which perform no rounded
+        operations in the sequential path either).
+        """
+        X = np.asarray(X, dtype=self.dtype)
+        nrows = X.shape[0]
+        if X.shape[-1] == 0:
+            return np.zeros(nrows, dtype=self.dtype)
+        scale = np.max(np.abs(X), axis=-1)
+        res = np.empty(nrows, dtype=self.dtype)
+        nanm = np.isnan(scale)
+        infm = np.isinf(scale) & ~nanm
+        zerom = (scale == 0) & ~nanm
+        general = ~(nanm | infm | zerom)
+        res[nanm] = self.dtype(np.nan)
+        res[infm] = self.dtype(np.inf)
+        res[zerom] = self.dtype(0.0)
+        if general.all():
+            xs = self.div(X, scale[:, None], rows)
+            return self.mul(scale, self.sqrt(self.dot(xs, xs, rows), rows), rows)
+        if general.any():
+            gi = np.nonzero(general)[0]
+            sub_rows = rows[gi]
+            xs = self.div(X[gi], scale[gi][:, None], sub_rows)
+            res[gi] = self.mul(
+                scale[gi], self.sqrt(self.dot(xs, xs, sub_rows), sub_rows), sub_rows
+            )
+        return res
+
+    def gemv(self, M, x, rows) -> np.ndarray:
+        """Rowwise ``M @ x``: ``(R, m, n) x (R, n) -> (R, m)``."""
+        M = np.asarray(M, dtype=self.dtype)
+        x = np.asarray(x, dtype=self.dtype)
+        if M.shape[2] == 0:
+            return np.zeros(M.shape[:2], dtype=self.dtype)
+        prods = self.mul(M, x[:, None, :], rows)
+        return self.reduce_last_inplace(prods, rows)
+
+    def gemv_t(self, M, x, rows) -> np.ndarray:
+        """Rowwise ``M.T @ x``: ``(R, n, m) x (R, n) -> (R, m)``."""
+        M = np.asarray(M, dtype=self.dtype)
+        x = np.asarray(x, dtype=self.dtype)
+        if M.shape[1] == 0:
+            return np.zeros((M.shape[0], M.shape[2]), dtype=self.dtype)
+        prods = self.mul(np.swapaxes(M, 1, 2), x[:, None, :], rows)
+        return self.reduce_last_inplace(prods, rows)
+
+    def gemm(self, A, B, rows) -> np.ndarray:
+        """Rowwise ``A @ B``: ``(R, m, k) x (R, k, p) -> (R, m, p)``."""
+        A = np.asarray(A, dtype=self.dtype)
+        B = np.asarray(B, dtype=self.dtype)
+        if A.shape[2] != B.shape[1]:
+            raise ValueError("gemm dimension mismatch")
+        if A.shape[2] == 0:
+            return np.zeros((A.shape[0], A.shape[1], B.shape[2]), dtype=self.dtype)
+        prods = self.mul(A[:, :, :, None], B[:, None, :, :], rows)
+        return self.reduce_last_inplace(np.moveaxis(prods, 2, -1), rows)
+
+    def spmv(self, data, indices, indptr, X, rows) -> np.ndarray:
+        """Rowwise sparse CSR product over a *shared* sparsity pattern.
+
+        ``data`` is the stacked per-row matrix values ``(R, nnz)`` (each row
+        already converted into its format); ``X`` the stacked operand
+        ``(R, n)``.  The segmented reduction mirrors
+        :meth:`ComputeContext._segmented_reduce` — the index bookkeeping is
+        row-independent because the pattern is shared, so the per-row
+        pairing matches the sequential kernel exactly.
+        """
+        X = np.asarray(X, dtype=self.dtype)
+        data = np.asarray(data, dtype=self.dtype)
+        nrows_mat = len(indptr) - 1
+        if data.shape[1] == 0:
+            return np.zeros((data.shape[0], nrows_mat), dtype=self.dtype)
+        prods = self.mul(data, X[:, indices], rows)
+        return self._segmented_reduce(prods, indptr, nrows_mat, rows)
+
+    def _segmented_reduce(self, vals, indptr, nseg, rows) -> np.ndarray:
+        counts = np.diff(indptr).astype(np.int64)
+        out = np.zeros((vals.shape[0], nseg), dtype=self.dtype)
+        if vals.shape[1] == 0:
+            return out
+        if self.accumulation == "sequential":
+            starts = np.asarray(indptr[:-1], dtype=np.int64)
+            acc_rows = np.nonzero(counts > 0)[0]
+            out[:, acc_rows] = vals[:, starts[acc_rows]]
+            k = 1
+            while True:
+                segs = np.nonzero(counts > k)[0]
+                if segs.size == 0:
+                    break
+                out[:, segs] = self.add(out[:, segs], vals[:, starts[segs] + k], rows)
+                k += 1
+            return out
+        vals = np.array(vals, dtype=self.dtype, copy=True)
+        counts = counts.copy()
+        while counts.max(initial=0) > 1:
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            segid = np.repeat(np.arange(nseg), counts)
+            local = np.arange(vals.shape[1]) - starts[segid]
+            count_per_elem = counts[segid]
+            is_left = (local % 2 == 0) & (local + 1 < count_per_elem)
+            is_single = (local % 2 == 0) & (local + 1 >= count_per_elem)
+            keep = is_left | is_single
+            left_idx = np.nonzero(is_left)[0]
+            merged = self.add(vals[:, left_idx], vals[:, left_idx + 1], rows)
+            new_vals = vals[:, keep].copy()
+            positions = np.cumsum(keep)[left_idx] - 1
+            new_vals[:, positions] = merged
+            vals = new_vals
+            counts = (counts + 1) // 2
+        nonempty = np.nonzero(counts == 1)[0]
+        out[:, nonempty] = vals
+        return out
+
+
+class BatchedFArray:
+    """A stacked array bound to a :class:`BatchedContext`.
+
+    The batched sibling of :class:`~repro.arithmetic.farray.FArray`: the
+    leading axis of :attr:`data` is the format axis, operators route
+    through the batched rounded kernels, and every row of every result is
+    rounded by its own format.  Construction does not round (``wrap``
+    semantics — the in-solver fast path); use :meth:`BatchedContext.round`
+    on raw input first when representability is not guaranteed.
+
+    The per-row trajectories of operator chains are bit-identical to
+    running the same chain on each row's sequential
+    :class:`~repro.arithmetic.farray.FArray` — the migration contract of
+    ``docs/api.md``.
+    """
+
+    __slots__ = ("ctx", "data", "rows")
+
+    def __init__(self, ctx: BatchedContext, data, rows=None):
+        self.ctx = ctx
+        self.data = np.asarray(data, dtype=ctx.dtype)
+        self.rows = ctx.all_rows if rows is None else np.asarray(rows, dtype=np.int64)
+        if self.data.shape[0] != len(self.rows):
+            raise ValueError(
+                f"leading (format) axis {self.data.shape[0]} does not match "
+                f"the row map of length {len(self.rows)}"
+            )
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def nrows(self) -> int:
+        return int(self.data.shape[0])
+
+    def row(self, i: int):
+        """Row ``i`` unwrapped, bound to its own sequential context as an
+        :class:`~repro.arithmetic.farray.FArray` (lockstep -> sequential
+        hand-off)."""
+        return self.ctx.rows[self.rows[i]].wrap(self.data[i])
+
+    def copy(self) -> "BatchedFArray":
+        return BatchedFArray(self.ctx, self.data.copy(), self.rows)
+
+    def _operand(self, other):
+        if isinstance(other, BatchedFArray):
+            if other.ctx is not self.ctx:
+                from .farray import ContextMismatchError
+
+                raise ContextMismatchError(
+                    "/".join(self.ctx.names), "/".join(other.ctx.names)
+                )
+            return other.data
+        if isinstance(other, (int, float, np.floating, np.integer, np.ndarray)):
+            return other
+        return None
+
+    def _binary(self, op, other):
+        od = self._operand(other)
+        if od is None:
+            return NotImplemented
+        return BatchedFArray(self.ctx, op(self.data, od, self.rows), self.rows)
+
+    def __add__(self, other):
+        return self._binary(self.ctx.add, other)
+
+    def __sub__(self, other):
+        return self._binary(self.ctx.sub, other)
+
+    def __mul__(self, other):
+        return self._binary(self.ctx.mul, other)
+
+    def __truediv__(self, other):
+        return self._binary(self.ctx.div, other)
+
+    def __radd__(self, other):
+        od = self._operand(other)
+        if od is None:
+            return NotImplemented
+        return BatchedFArray(self.ctx, self.ctx.add(od, self.data, self.rows), self.rows)
+
+    def __rmul__(self, other):
+        od = self._operand(other)
+        if od is None:
+            return NotImplemented
+        return BatchedFArray(self.ctx, self.ctx.mul(od, self.data, self.rows), self.rows)
+
+    def __neg__(self):
+        return BatchedFArray(self.ctx, self.ctx.neg(self.data), self.rows)
+
+    def __abs__(self):
+        return BatchedFArray(self.ctx, self.ctx.abs(self.data), self.rows)
+
+    def sqrt(self) -> "BatchedFArray":
+        return BatchedFArray(self.ctx, self.ctx.sqrt(self.data.copy(), self.rows), self.rows)
+
+    def dot(self, other) -> "BatchedFArray":
+        od = self._operand(other)
+        return BatchedFArray(self.ctx, self.ctx.dot(self.data, od, self.rows), self.rows)
+
+    def norm2(self) -> "BatchedFArray":
+        return BatchedFArray(self.ctx, self.ctx.norm2(self.data, self.rows), self.rows)
+
+    def hypot(self, other) -> "BatchedFArray":
+        od = self._operand(other)
+        return BatchedFArray(self.ctx, self.ctx.hypot(self.data, od, self.rows), self.rows)
+
+    def __matmul__(self, other):
+        od = self._operand(other)
+        if od is None:
+            return NotImplemented
+        sd = self.data
+        if sd.ndim == 3:
+            res = self.ctx.gemv(sd, od, self.rows) if od.ndim == 2 else self.ctx.gemm(sd, od, self.rows)
+        elif od.ndim == 3:
+            res = self.ctx.gemv_t(od, sd, self.rows)  # x @ M == M^T x, per row
+        else:
+            res = self.ctx.dot(sd, od, self.rows)
+        return BatchedFArray(self.ctx, res, self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"BatchedFArray(shape={self.data.shape}, formats={self.ctx.names!r})"

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
 from abc import ABC, abstractmethod
 from typing import Optional
 
@@ -51,6 +52,28 @@ def _is_scalar(x) -> bool:
     0-d array) that the elementary operations can keep out of ndarray
     round-trips."""
     return isinstance(x, _SCALAR_TYPES) or (isinstance(x, np.ndarray) and x.ndim == 0)
+
+
+def _positional_out(args: tuple, out):
+    """Deprecation shim for the pre-format-axis keyword order.
+
+    The rounded operations used to accept the output buffer as a trailing
+    positional argument; the unified signature contract (see
+    ``docs/api.md``) makes it keyword-only — ``out=`` — so the scalar
+    convention (scalar operands return work-dtype scalars and leave ``out``
+    untouched) reads identically across native, emulated and batched
+    contexts.  Old-style positional calls still work, with a
+    :class:`DeprecationWarning`.
+    """
+    if len(args) != 1 or out is not None:
+        raise TypeError("rounded operations take a single out= buffer")
+    warnings.warn(
+        "passing the output buffer positionally is deprecated; "
+        "pass it by keyword (out=...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return args[0]
 
 __all__ = [
     "ComputeContext",
@@ -145,7 +168,7 @@ class ComputeContext(ABC):
     # primitives
     # ------------------------------------------------------------------ #
     @abstractmethod
-    def round(self, values, out=None):
+    def round(self, values, *args, out=None):
         """Round work-precision values to the context's arithmetic.
 
         Array inputs return an ndarray of :attr:`dtype`; scalar and 0-d
@@ -153,10 +176,12 @@ class ComputeContext(ABC):
         scalars never round-trip through ndarrays.  ``asarray`` inherits
         the same convention.
 
-        ``out`` is an optional pre-allocated array of :attr:`dtype` the
-        result is written into; it may alias ``values``.  The elementwise
-        operations exploit this to round their work-precision result in
-        place instead of allocating a second array per op.
+        ``out`` (keyword-only; positional still accepted through the
+        deprecation shim) is an optional pre-allocated array of
+        :attr:`dtype` the result is written into; it may alias ``values``
+        and is left untouched by scalar inputs.  The elementwise operations
+        exploit this to round their work-precision result in place instead
+        of allocating a second array per op.
         """
 
     def round_scalar(self, value):
@@ -345,15 +370,19 @@ class ComputeContext(ABC):
         """
         return True
 
-    def add(self, a, b, out=None):
+    def add(self, a, b, *args, out=None):
         """Rounded elementwise ``a + b`` (scalars stay scalars).
 
-        ``out`` (optional) receives the rounded result when the operands
-        form an *array* operation, and may alias an operand — the in-place
-        accumulation path of the operator API.  All-scalar operands return
-        a work-dtype scalar and leave ``out`` untouched (scalars never
-        round-trip through ndarrays).
+        ``out`` (keyword-only) receives the rounded result when the
+        operands form an *array* operation, and may alias an operand — the
+        in-place accumulation path of the operator API.  All-scalar
+        operands return a work-dtype scalar and leave ``out`` untouched
+        (scalars never round-trip through ndarrays).  This contract is
+        shared by every rounded operation of every context; see
+        ``docs/api.md``.
         """
+        if args:
+            out = _positional_out(args, out)
         if _is_scalar(a) and _is_scalar(b):
             return self._scalar_add(a, b)
         self._tally(np.broadcast(a, b).size)
@@ -362,8 +391,10 @@ class ComputeContext(ABC):
             return self.round(work)
         return self.round(work, out=work)
 
-    def sub(self, a, b, out=None):
+    def sub(self, a, b, *args, out=None):
         """Rounded elementwise ``a - b`` (scalars stay scalars)."""
+        if args:
+            out = _positional_out(args, out)
         if _is_scalar(a) and _is_scalar(b):
             return self._scalar_sub(a, b)
         self._tally(np.broadcast(a, b).size)
@@ -372,8 +403,10 @@ class ComputeContext(ABC):
             return self.round(work)
         return self.round(work, out=work)
 
-    def mul(self, a, b, out=None):
+    def mul(self, a, b, *args, out=None):
         """Rounded elementwise ``a * b`` (scalars stay scalars)."""
+        if args:
+            out = _positional_out(args, out)
         if _is_scalar(a) and _is_scalar(b):
             return self._scalar_mul(a, b)
         self._tally(np.broadcast(a, b).size)
@@ -382,8 +415,10 @@ class ComputeContext(ABC):
             return self.round(work)
         return self.round(work, out=work)
 
-    def div(self, a, b, out=None):
+    def div(self, a, b, *args, out=None):
         """Rounded elementwise ``a / b`` (scalars stay scalars)."""
+        if args:
+            out = _positional_out(args, out)
         if _is_scalar(a) and _is_scalar(b):
             return self._scalar_div(a, b)
         self._tally(np.broadcast(a, b).size)
@@ -392,8 +427,10 @@ class ComputeContext(ABC):
             return self.round(work)
         return self.round(work, out=work)
 
-    def sqrt(self, a, out=None):
+    def sqrt(self, a, *args, out=None):
         """Rounded elementwise square root (scalars stay scalars)."""
+        if args:
+            out = _positional_out(args, out)
         if _is_scalar(a):
             return self._scalar_sqrt(a)
         self._tally(np.size(a))
@@ -402,19 +439,19 @@ class ComputeContext(ABC):
             return self.round(work)
         return self.round(work, out=work)
 
-    def neg(self, a):
+    def neg(self, a, *, out=None):
         """Exact negation (sign flips are exact in every supported format)."""
         if _is_scalar(a):
             return -self.dtype(a)
-        return np.negative(np.asarray(a, dtype=self.dtype))
+        return np.negative(np.asarray(a, dtype=self.dtype), out=out)
 
-    def abs(self, a):
+    def abs(self, a, *, out=None):
         """Exact magnitude (representable whenever the value is)."""
         if _is_scalar(a):
             return abs(self.dtype(a))
-        return np.abs(np.asarray(a, dtype=self.dtype))
+        return np.abs(np.asarray(a, dtype=self.dtype), out=out)
 
-    def hypot(self, a, b):
+    def hypot(self, a, b, *, out=None):
         """Overflow-safe ``sqrt(a^2 + b^2)`` from rounded elementary operations.
 
         The naive composition squares its operands, which leaves the dynamic
@@ -454,7 +491,7 @@ class ComputeContext(ABC):
         small = np.where(np.isinf(scale), self.dtype(0.0), small)
         t = self.div(small, safe)
         return self.mul(
-            scale, self.sqrt(self.add(self.dtype(1.0), self.mul(t, t)))
+            scale, self.sqrt(self.add(self.dtype(1.0), self.mul(t, t))), out=out
         )
 
     # ------------------------------------------------------------------ #
@@ -738,11 +775,13 @@ class NativeContext(ComputeContext):
         self.name = name or np.dtype(dtype).name
         self.bits = np.dtype(dtype).itemsize * 8
 
-    def round(self, values, out=None):
+    def round(self, values, *args, out=None):
         """Hardware dtypes round by conversion (a cast is the rounding);
         scalar inputs return dtype scalars.  ``out`` receives the converted
         values when given (no-op when it aliases an already-converted
         ``values``)."""
+        if args:
+            out = _positional_out(args, out)
         if _is_scalar(values):
             return self.dtype(values)
         arr = np.asarray(values, dtype=self.dtype)
@@ -851,11 +890,13 @@ class EmulatedContext(ComputeContext):
             self._inplace_rounding = flag
         return flag
 
-    def round(self, values, out=None):
+    def round(self, values, *args, out=None):
         """Round values to the format through the selected backend (scalar
         inputs return work-dtype scalars via :meth:`round_scalar`).  ``out``
-        (optional, may alias ``values``) receives the rounded array — the
-        in-place path the elementwise operations use."""
+        (keyword-only, may alias ``values``) receives the rounded array —
+        the in-place path the elementwise operations use."""
+        if args:
+            out = _positional_out(args, out)
         if _is_scalar(values):
             return self.round_scalar(values)
         values = np.asarray(values, dtype=self.dtype)

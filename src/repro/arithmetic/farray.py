@@ -48,6 +48,7 @@ __all__ = [
     "FArray",
     "FScalar",
     "PrecisionLeakError",
+    "ContextMismatchError",
     "BoundNamespace",
     "precision",
 ]
@@ -78,13 +79,34 @@ def _leak(obj, name):
     )
 
 
+class ContextMismatchError(PrecisionLeakError):
+    """Operands of one operation are bound to *different* compute contexts.
+
+    Mixing bindings (``posit16 + bfloat16``) is always a bug: values of one
+    arithmetic are not representable in another, so there is no correct
+    rounding for the result.  The error names both formats; convert
+    deliberately by unwrapping (``.data`` / ``.value``) and re-binding
+    through ``ctx.array`` / ``ctx.scalar``.
+
+    Subclasses :class:`PrecisionLeakError` (and therefore ``TypeError``), so
+    existing handlers keep working.
+    """
+
+    def __init__(self, left_name: str, right_name: str):
+        super().__init__(
+            f"operands are bound to different compute contexts "
+            f"({left_name!r} vs {right_name!r}); values of {left_name!r} are "
+            f"not representable in {right_name!r} — unwrap with "
+            "'.data'/'.value' and re-bind through ctx.array/ctx.scalar to "
+            "convert deliberately"
+        )
+        #: format/context names of the two operands, for programmatic use
+        self.left_name = left_name
+        self.right_name = right_name
+
+
 def _ctx_mismatch(left_ctx, right_ctx):
-    raise PrecisionLeakError(
-        f"operands are bound to different compute contexts "
-        f"({left_ctx.name!r} vs {right_ctx.name!r}); values of one arithmetic "
-        "are not representable in another — unwrap with '.data'/'.value' and "
-        "re-bind through ctx.array/ctx.scalar to convert deliberately"
-    )
+    raise ContextMismatchError(left_ctx.name, right_ctx.name)
 
 
 #: ufuncs with a rounded context equivalent the guard reroutes to

@@ -201,6 +201,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry cached cells whose worker crashed ('failed' status)",
     )
     parser.add_argument(
+        "--batch-formats",
+        action="store_true",
+        help="solve each matrix's formats as one lockstep batch "
+        "(repro.core.lockstep) instead of one sequential solve per format; "
+        "per-format results are bit-identical, so cache entries are shared "
+        "with sequential runs",
+    )
+    parser.add_argument(
         "--report-json",
         default=None,
         metavar="FILE",
@@ -478,6 +486,7 @@ def main(argv=None) -> int:
         store=store,
         use_cache=not args.no_cache,
         rerun_failed=args.rerun_failed,
+        batch_formats=args.batch_formats,
     )
     report = result.report
     if args.trace:

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
+from ..arithmetic.batched import BatchSpec
 from ..arithmetic.context import get_context
 from ..arithmetic.registry import preload_tables
 from ..core.krylov_schur import partialschur
@@ -152,6 +153,43 @@ def _reference_solve(test_matrix: TestMatrix, config: ExperimentConfig):
     return result, record
 
 
+def _evaluate_solve(
+    record: RunRecord,
+    result,
+    ref_vals: np.ndarray,
+    ref_vecs: np.ndarray,
+    keep: int,
+) -> RunRecord:
+    """Fill a record from a finished solver result (shared by the
+    sequential per-cell path and the batched lockstep path)."""
+    record.restarts = result.restarts
+    record.matvecs = result.matvecs
+    record.solver_reason = result.reason
+    if not result.converged or result.nev == 0:
+        record.status = "no_convergence"
+        return record
+    try:
+        vals, vecs, _ = match_eigenpairs(
+            ref_vals,
+            ref_vecs,
+            result.eigenvalues_float64(),
+            result.eigenvectors_float64(),
+            keep=keep,
+        )
+    except ValueError:
+        record.status = "no_convergence"
+        return record
+    metrics: ErrorMetrics = error_metrics(ref_vals[:keep], ref_vecs[:, :keep], vals, vecs)
+    if not metrics.finite:
+        record.status = "no_convergence"
+        return record
+    record.eigenvalue_relative_error = metrics.eigenvalue_relative
+    record.eigenvector_relative_error = metrics.eigenvector_relative
+    record.eigenvalue_absolute_error = metrics.eigenvalue_absolute
+    record.eigenvector_absolute_error = metrics.eigenvector_absolute
+    return record
+
+
 def _run_cell(
     test_matrix: TestMatrix,
     format_name: str,
@@ -190,32 +228,7 @@ def _run_cell(
             seed=config.seed,
             eps_floor=config.eps_floor,
         )
-        record.restarts = result.restarts
-        record.matvecs = result.matvecs
-        record.solver_reason = result.reason
-        if not result.converged or result.nev == 0:
-            record.status = "no_convergence"
-            return record
-        try:
-            vals, vecs, _ = match_eigenpairs(
-                ref_vals,
-                ref_vecs,
-                result.eigenvalues_float64(),
-                result.eigenvectors_float64(),
-                keep=keep,
-            )
-        except ValueError:
-            record.status = "no_convergence"
-            return record
-        metrics: ErrorMetrics = error_metrics(ref_vals[:keep], ref_vecs[:, :keep], vals, vecs)
-        if not metrics.finite:
-            record.status = "no_convergence"
-            return record
-        record.eigenvalue_relative_error = metrics.eigenvalue_relative
-        record.eigenvector_relative_error = metrics.eigenvector_relative
-        record.eigenvalue_absolute_error = metrics.eigenvalue_absolute
-        record.eigenvector_absolute_error = metrics.eigenvector_absolute
-        return record
+        return _evaluate_solve(record, result, ref_vals, ref_vecs, keep)
     finally:
         # every exit path: remember the cell's op tally and flush it into
         # the telemetry registry (conversion + solve + post-solve rounding)
@@ -223,12 +236,86 @@ def _run_cell(
         ctx.publish_op_count()
 
 
+def _run_cells_batched(
+    test_matrix: TestMatrix,
+    formats: Sequence[str],
+    config: ExperimentConfig,
+    reference_record: ReferenceRecord,
+    ref_vals: np.ndarray,
+    ref_vecs: np.ndarray,
+    keep: int,
+) -> list[RunRecord]:
+    """All (matrix, format) cells of one matrix as one lockstep batch.
+
+    The solver phase runs through
+    :func:`repro.core.lockstep.batched_partialschur`, which is bit-identical
+    per format to the sequential engine, so the records are exactly what
+    :func:`_run_cell` would have produced — only faster.  The pre-solve
+    (conversion, ∞σ range check) and post-solve (matching, error metrics)
+    phases stay per-cell.  ``solve_seconds`` of the batched cells is the
+    batch wall time split evenly across them (per-cell attribution inside a
+    lockstep sweep is not observable).
+    """
+    from ..core.lockstep import batched_partialschur
+
+    records: list[RunRecord] = []
+    solvable: list[tuple[RunRecord, object, object]] = []  # (record, ctx, matrix)
+    for format_name in formats:
+        record = RunRecord(
+            matrix=test_matrix.name,
+            group=test_matrix.group,
+            category=test_matrix.category,
+            format=format_name,
+            status="ok",
+        )
+        records.append(record)
+        if not reference_record.converged:
+            record.status = "reference_failed"
+            continue
+        ctx = get_context(config.context_spec(format_name))
+        converted, info = ctx.convert_matrix(test_matrix.matrix)
+        if info.range_exceeded:
+            record.status = "range_exceeded"
+            record.rounded_ops = ctx.op_count
+            ctx.publish_op_count()
+            continue
+        solvable.append((record, ctx, converted))
+    if not solvable:
+        return records
+
+    t_batch = time.perf_counter()
+    results = batched_partialschur(
+        [m for _, _, m in solvable],
+        BatchSpec([ctx for _, ctx, _ in solvable]),
+        nev=min(config.nev_total, test_matrix.n),
+        which=config.which,
+        tol=[tolerance_for(r.format) for r, _, _ in solvable],
+        maxdim=config.maxdim,
+        restarts=config.restarts,
+        seed=config.seed,
+        eps_floor=config.eps_floor,
+    )
+    share = (time.perf_counter() - t_batch) / len(solvable)
+    for (record, ctx, _), result in zip(solvable, results):
+        _evaluate_solve(record, result, ref_vals, ref_vecs, keep)
+        record.solve_seconds = share
+        record.rounded_ops = ctx.op_count
+        ctx.publish_op_count()
+    return records
+
+
 def run_matrix_experiment(
     test_matrix: TestMatrix,
     formats: Sequence[str],
     config: Optional[ExperimentConfig] = None,
+    batch_formats: bool = False,
 ) -> MatrixExperiment:
-    """Run the full per-matrix pipeline for every requested format."""
+    """Run the full per-matrix pipeline for every requested format.
+
+    With ``batch_formats=True`` the solver phase of all formats runs as one
+    lockstep sweep (:mod:`repro.core.lockstep`) instead of one sequential
+    solve per format; the records are bit-identical either way.
+    """
     config = config or ExperimentConfig()
     t_start = time.perf_counter()
     reference_result, reference_record = _reference_solve(test_matrix, config)
@@ -237,6 +324,21 @@ def run_matrix_experiment(
     keep = min(config.eigenvalue_count, test_matrix.n)
     ref_vals = np.asarray(reference_result.eigenvalues, dtype=np.float64)
     ref_vecs = np.asarray(reference_result.eigenvectors, dtype=np.float64)
+
+    if batch_formats:
+        with _trace.span(
+            "experiment.cells_batched", matrix=test_matrix.name, formats=len(formats)
+        ) as sp:
+            runs = _run_cells_batched(
+                test_matrix, formats, config, reference_record, ref_vals, ref_vecs, keep
+            )
+            sp.set(statuses={r.format: r.status for r in runs})
+        return MatrixExperiment(
+            matrix=test_matrix.name,
+            reference=reference_record,
+            runs=runs,
+            seconds=time.perf_counter() - t_start,
+        )
 
     for format_name in formats:
         t_cell = time.perf_counter()
@@ -266,6 +368,7 @@ def run_experiment(
     store: Optional["ResultStore"] = None,
     use_cache: bool = True,
     rerun_failed: bool = False,
+    batch_formats: bool = False,
 ) -> ExperimentResult:
     """Run the experiment pipeline over a suite of matrices.
 
@@ -298,6 +401,11 @@ def run_experiment(
     rerun_failed:
         Treat cached ``"failed"`` cells (crashed workers) as missing and
         retry them.
+    batch_formats:
+        Solve every matrix's missing formats as one lockstep batch
+        (:func:`repro.core.lockstep.batched_partialschur`) instead of one
+        sequential solver run per format.  Records are bit-identical either
+        way, so batched and sequential runs share cache entries.
     """
     from .store import execute_plan, plan_experiment  # local: store imports us
 
@@ -309,6 +417,7 @@ def run_experiment(
         store=store,
         use_cache=use_cache,
         rerun_failed=rerun_failed,
+        batch_formats=batch_formats,
     )
     # Build the lookup-table rounding engine once in this process: forked
     # workers inherit the tables copy-on-write instead of re-enumerating the

@@ -598,16 +598,22 @@ class _ShardTask:
 
     ``formats`` may be empty — that shard exists only to regenerate a
     missing reference record (cells all cached, reference gc'd away).
+    With ``batch_formats`` the shard's formats are solved as one lockstep
+    batch instead of sequentially — the shard is already the natural
+    batching unit, since it groups all missing cells of one matrix.
     """
 
     test_matrix: TestMatrix
     formats: tuple[str, ...]
     config: ExperimentConfig
     fingerprint: str
+    batch_formats: bool = False
 
 
 def _run_shard(task: _ShardTask) -> MatrixExperiment:
-    return run_matrix_experiment(task.test_matrix, task.formats, task.config)
+    return run_matrix_experiment(
+        task.test_matrix, task.formats, task.config, batch_formats=task.batch_formats
+    )
 
 
 @dataclasses.dataclass
@@ -678,6 +684,7 @@ def plan_experiment(
     store: Optional[ResultStore] = None,
     use_cache: bool = True,
     rerun_failed: bool = False,
+    batch_formats: bool = False,
 ) -> ExperimentPlan:
     """Subtract cached cells from the suite × formats grid.
 
@@ -686,7 +693,11 @@ def plan_experiment(
     per-matrix :class:`_ShardTask` (the reference solve is shared by all
     missing formats of a matrix).  With ``use_cache=False`` nothing is
     loaded and everything executes; with ``rerun_failed=True`` cached
-    ``"failed"`` cells (crashed workers) count as missing.
+    ``"failed"`` cells (crashed workers) count as missing.  With
+    ``batch_formats=True`` each shard's missing formats are marked for one
+    lockstep batched solve; cache keys are unaffected (the batched engine
+    is bit-identical per cell), so batched and sequential runs interleave
+    freely over one store.
     """
     config = config or ExperimentConfig()
     suite = list(suite)
@@ -727,7 +738,9 @@ def plan_experiment(
             not missing and cached_ref is None and useful_cached and store is not None and use_cache
         )
         if missing or need_reference_only:
-            tasks.append(_ShardTask(tm, tuple(missing), config, fingerprint))
+            tasks.append(
+                _ShardTask(tm, tuple(missing), config, fingerprint, batch_formats)
+            )
 
     return ExperimentPlan(
         suite=suite,

@@ -34,7 +34,7 @@ from ..telemetry import core as _telemetry
 from ..telemetry.metrics import metrics as _metrics
 from ..utils.parallel import BoundedPool, PoolSaturatedError
 
-__all__ = ["solve_cell", "WorkerBridge"]
+__all__ = ["solve_cell", "solve_cells", "WorkerBridge"]
 
 
 def solve_cell(
@@ -57,11 +57,65 @@ def solve_cell(
     return result.report
 
 
+def solve_cells(
+    store: ResultStore,
+    test_matrix: TestMatrix,
+    format_names: list[str],
+    config: ExperimentConfig,
+) -> ExecutionReport:
+    """Solve several formats of one matrix as a single lockstep batch.
+
+    Planning still subtracts store hits, so cells a racing replica committed
+    meanwhile drop out of the batch before it runs; whatever remains becomes
+    one shard solved by the batched engine (``batch_formats=True``).  Cache
+    keys and payloads are identical to the per-cell path — the batched
+    trajectories are bit-for-bit those of the sequential engine.
+    """
+    from ..experiments.store import execute_plan, plan_experiment
+
+    plan = plan_experiment(
+        [test_matrix],
+        list(format_names),
+        config,
+        store=store,
+        use_cache=True,
+        batch_formats=True,
+    )
+    result = execute_plan(plan, workers=1)
+    return result.report
+
+
 def _solve_cell_local(
     root: str, test_matrix: TestMatrix, format_name: str, config: ExperimentConfig
 ) -> ExecutionReport:
     """Process-pool entry point: open the store by path in the worker."""
     return solve_cell(ResultStore(root), test_matrix, format_name, config)
+
+
+def _solve_cells_local(
+    root: str, test_matrix: TestMatrix, format_names: list[str], config: ExperimentConfig
+) -> ExecutionReport:
+    """Process-pool entry point for a format batch."""
+    return solve_cells(ResultStore(root), test_matrix, format_names, config)
+
+
+def _solve_cells_via(
+    solve_fn: Callable,
+    store: ResultStore,
+    test_matrix: TestMatrix,
+    format_names: list[str],
+    config: ExperimentConfig,
+):
+    """Drive an injected per-cell ``solve_fn`` over a format batch.
+
+    Test doubles provide the single-cell signature; inside the one pool slot
+    the batch occupies we just iterate them, preserving whatever gating or
+    counting the double implements.  Returns the last report.
+    """
+    report = None
+    for format_name in format_names:
+        report = solve_fn(store, test_matrix, format_name, config)
+    return report
 
 
 class WorkerBridge:
@@ -144,6 +198,39 @@ class WorkerBridge:
         submitted = time.perf_counter()
         if _telemetry.ENABLED:
             _metrics.counter("serve.solves").inc()
+            _metrics.gauge("serve.queue_depth").set(self.depth)
+
+        def _done(completed_future) -> None:
+            self._record_completion(completed_future, submitted)
+
+        future.add_done_callback(_done)
+        return asyncio.wrap_future(future)
+
+    def submit_batch(
+        self, test_matrix: TestMatrix, format_names: list[str], config: ExperimentConfig
+    ) -> asyncio.Future:
+        """Submit several formats of one matrix as one batched solve.
+
+        The whole batch occupies a single pool slot (it is one lockstep
+        sweep, not N independent solves), so a format batch is admitted or
+        rejected as a unit; saturation raises
+        :class:`~repro.utils.parallel.PoolSaturatedError` like :meth:`submit`.
+        """
+        formats = list(format_names)
+        if self.solve_fn is not None:
+            future = self.pool.submit(
+                _solve_cells_via, self.solve_fn, self.store, test_matrix, formats, config
+            )
+        elif self.kind == "process":
+            future = self.pool.submit(
+                _solve_cells_local, str(self.store.root), test_matrix, formats, config
+            )
+        else:
+            future = self.pool.submit(solve_cells, self.store, test_matrix, formats, config)
+        submitted = time.perf_counter()
+        if _telemetry.ENABLED:
+            _metrics.counter("serve.solves").inc()
+            _metrics.counter("serve.batch_cells").inc(len(formats))
             _metrics.gauge("serve.queue_depth").set(self.depth)
 
         def _done(completed_future) -> None:

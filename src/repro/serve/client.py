@@ -173,3 +173,35 @@ class ServeClient:
         raise ServiceUnavailable(
             f"service still saturated after {self.max_retries} retries", retry_after
         )
+
+    def cells(
+        self,
+        matrix: str,
+        formats: list[str],
+        config: Optional[dict] = None,
+    ) -> dict:
+        """Fetch many formats of one matrix in a single batched request.
+
+        Cold cells are solved by the service as one lockstep batch; the
+        response document has a ``cells`` list with one entry per requested
+        format carrying its own ``status``/``source`` and, on 200, the
+        stored ``record``.  Saturation (``503``) is retried like
+        :meth:`cell`; any other non-200 raises :class:`ServeError`.
+        """
+        body: dict = {"matrix": matrix, "formats": list(formats)}
+        if config:
+            body["config"] = config
+        retry_after = 1
+        for attempt in range(self.max_retries + 1):
+            status, headers, data = self._request("POST", "/v1/cells", body=body)
+            if status == 503:
+                retry_after = max(1, int(headers.get("retry-after", "1") or 1))
+                if attempt < self.max_retries:
+                    sleep(retry_after)
+                continue
+            if status != 200:
+                raise ServeError(status, str(self._json(data).get("error", data[:200])))
+            return self._json(data)
+        raise ServiceUnavailable(
+            f"service still saturated after {self.max_retries} retries", retry_after
+        )

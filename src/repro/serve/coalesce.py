@@ -54,7 +54,16 @@ class RequestCoalescer:
 
     async def join(self, key: str):
         """Await the in-flight result under ``key`` (joiner path)."""
-        future = self._inflight[key]
+        return await self.join_future(self._inflight[key])
+
+    async def join_future(self, future: asyncio.Future):
+        """Await a future captured earlier via :meth:`peek`.
+
+        The batch route partitions its cells synchronously and may only get
+        around to awaiting a joined cell after its leader finished — at which
+        point the key is already released, so a key lookup would fail.  The
+        future itself stays valid.
+        """
         self.coalesced_total += 1
         # shield: one joiner's disconnect must not cancel the shared future
         return await asyncio.shield(future)

@@ -22,6 +22,14 @@ separated by an ``await``):
    the bridge (full pool ⇒ ``503`` + ``Retry-After``), read the committed
    payload back, and resolve the future for every joiner.
 
+``POST /v1/cells`` is the batched variant — one matrix, many formats.  Warm
+cells come straight from the store, in-flight cells are joined, and the cold
+remainder is submitted to the bridge as **one** lockstep batched solve (the
+format axis of :func:`repro.core.lockstep.batched_partialschur`), each cold
+cell registered with the coalescer so concurrent single-cell requests join
+the batch.  The response carries per-cell statuses; records are bit-identical
+to the sequential per-cell path, so both routes share one store.
+
 Lifecycle helpers: :class:`ServiceThread` runs a service on a dedicated
 event-loop thread (tests, benchmarks, smoke scripts) and
 :func:`run_service` blocks the calling thread until SIGINT/SIGTERM (the CLI
@@ -215,6 +223,7 @@ class SpectralService:
         "/v1/matrices": "matrices",
         "/v1/formats": "formats",
         "/v1/cell": "cell",
+        "/v1/cells": "cells",
         "/v1/warmup": "warmup",
     }
 
@@ -254,6 +263,10 @@ class SpectralService:
             if request.method not in ("GET", "POST", "HEAD"):
                 raise HTTPError(405, "cell supports GET and POST")
             return await self._handle_cell(request)
+        if route == "cells":
+            if request.method != "POST":
+                raise HTTPError(405, "cells supports POST only")
+            return await self._handle_cells(request)
         if route == "warmup":
             if request.method != "POST":
                 raise HTTPError(405, "warmup supports POST only")
@@ -430,6 +443,148 @@ class SpectralService:
             outcome = (200, _payload_bytes(payload))
         self.coalescer.finish(key, result=outcome)
         return outcome
+
+    # -- the batch route ---------------------------------------------------
+
+    def _parse_cells_request(
+        self, request: Request
+    ) -> tuple[TestMatrix, list[str], ExperimentConfig, list[str]]:
+        """Resolve (matrix, formats, config) and derive one key per cell."""
+        body = request.json()
+        matrix_ref = body.get("matrix")
+        format_names = body.get("formats")
+        overrides = body.get("config", {})
+        if overrides and not isinstance(overrides, dict):
+            raise HTTPError(400, "'config' must be a JSON object of overrides")
+        if not matrix_ref or not isinstance(matrix_ref, str):
+            raise HTTPError(400, "missing 'matrix' (suite name or content fingerprint)")
+        if (
+            not isinstance(format_names, list)
+            or not format_names
+            or not all(isinstance(f, str) for f in format_names)
+        ):
+            raise HTTPError(400, "'formats' must be a non-empty list of format names")
+        if len(set(format_names)) != len(format_names):
+            raise HTTPError(400, "'formats' contains duplicates")
+        tm = self._by_name.get(matrix_ref) or self._by_fingerprint.get(matrix_ref)
+        if tm is None:
+            raise HTTPError(404, f"matrix {matrix_ref!r} is not in this service's suite")
+        unknown = [f for f in format_names if f not in self.formats]
+        if unknown:
+            raise HTTPError(404, f"formats not served here: {unknown}; see /v1/formats")
+        config = apply_config_overrides(self.config, overrides)
+        fingerprint = self._fingerprints[tm.name]
+        keys = [task_key(config, f, fingerprint) for f in format_names]
+        return tm, format_names, config, keys
+
+    async def _handle_cells(self, request: Request) -> Response:
+        """``POST /v1/cells``: many formats of one matrix, per-cell statuses.
+
+        Warm cells are answered from the store, cells another request is
+        already solving are joined, and the remaining cold cells go to the
+        bridge as **one** lockstep batched solve (one pool slot).  Each cold
+        cell is registered with the coalescer, so a concurrent ``/v1/cell``
+        for the same key joins the batch instead of re-solving.  The response
+        is 200 whenever the batch was admitted; each cell carries its own
+        ``status``/``source`` (its record on 200, an ``error`` otherwise).
+        """
+        tm, formats, config, keys = self._parse_cells_request(request)
+
+        # Partition synchronously — no await between peek/begin and the
+        # bridge submit, same atomicity contract as the single-cell route.
+        outcomes: dict[str, tuple[str, int, bytes]] = {}
+        joined: list[tuple[str, asyncio.Future]] = []
+        cold: list[tuple[str, str]] = []
+        for fmt, key in zip(formats, keys):
+            inflight = self.coalescer.peek(key)
+            if inflight is not None:
+                joined.append((fmt, inflight))
+                continue
+            payload = self.store.get(key)
+            if payload is not None:
+                outcomes[fmt] = ("store", 200, _payload_bytes(payload))
+            else:
+                cold.append((fmt, key))
+
+        if joined and _telemetry.ENABLED:
+            _metrics.counter("serve.coalesced").inc(len(joined))
+
+        if cold:
+            for _, key in cold:
+                self.coalescer.begin(key)
+            try:
+                solve = self.bridge.submit_batch(tm, [f for f, _ in cold], config)
+            except PoolSaturatedError as exc:
+                for _, key in cold:
+                    self.coalescer.finish(key, result=None)  # no joiner yet
+                retry_after = self.bridge.retry_after()
+                if _telemetry.ENABLED:
+                    _metrics.counter("serve.rejected", reason="saturated").inc()
+                raise HTTPError(
+                    503,
+                    f"solver pool saturated ({exc.depth}/{exc.capacity} in flight); "
+                    "retry later",
+                    headers={"Retry-After": str(retry_after)},
+                ) from None
+            outcomes.update(await self._lead_batch(cold, solve))
+
+        if joined:
+            # join concurrently: every pending join registers with the
+            # coalescer immediately instead of one per resolved future
+            shared = await asyncio.gather(
+                *(self.coalescer.join_future(future) for _, future in joined)
+            )
+            for (fmt, _), (status, body) in zip(joined, shared):
+                outcomes[fmt] = ("coalesced", status, body)
+
+        cells = []
+        for fmt, key in zip(formats, keys):
+            source, status, body = outcomes[fmt]
+            entry = {"format": fmt, "key": key, "status": status, "source": source}
+            document = json.loads(body)
+            if status == 200:
+                entry["record"] = document
+            else:
+                entry["error"] = document.get("error", "solve failed")
+            cells.append(entry)
+        return Response.json_document(
+            {"matrix": tm.name, "cells": cells},
+            headers={"X-Repro-Source": "batched"},
+        )
+
+    async def _lead_batch(
+        self, cold: list[tuple[str, str]], solve: asyncio.Future
+    ) -> dict[str, tuple[str, int, bytes]]:
+        """Await the batched solve; resolve every cold cell's future.
+
+        Mirrors :meth:`_lead_solve` per cell: the shared futures always
+        resolve to ``(status, body)`` pairs, and each cell's payload is read
+        back from the store individually, so a partially failed batch still
+        reports every cell honestly.
+        """
+        try:
+            report = await solve
+        except asyncio.CancelledError:
+            failure = (503, _error_body("service shutting down before the solve started"))
+        except Exception as exc:  # worker crash / pickling failure
+            failure = (500, _error_body(f"solve crashed: {type(exc).__name__}: {exc}"))
+        else:
+            outcomes = {}
+            for fmt, key in cold:
+                payload = self.store.get(key)
+                if payload is None:
+                    outcome = (
+                        500,
+                        _error_body("solve did not commit a record", report=report.to_dict()),
+                    )
+                else:
+                    outcome = (200, _payload_bytes(payload))
+                self.coalescer.finish(key, result=outcome)
+                outcomes[fmt] = ("computed",) + outcome
+            return outcomes
+        for _, key in cold:
+            self.coalescer.finish(key, result=failure)
+        return {fmt: ("computed",) + failure for fmt, _ in cold}
 
 
 def _payload_bytes(payload: dict) -> bytes:

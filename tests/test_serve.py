@@ -541,3 +541,176 @@ def test_clean_shutdown_refuses_new_connections(tmp_path):
     thread.stop()  # idempotent
     with pytest.raises(OSError):
         client.healthz()
+
+
+# --------------------------------------------------------------------- #
+# the batch route: POST /v1/cells
+
+
+def _cells_request(matrix: str, formats: list[str], config: dict | None = None) -> Request:
+    body: dict = {"matrix": matrix, "formats": formats}
+    if config:
+        body["config"] = config
+    return Request(
+        method="POST", path="/v1/cells", query={}, headers={}, body=json.dumps(body).encode()
+    )
+
+
+def test_cells_batch_end_to_end(warm_serve):
+    """Cold cells are solved as one batch; warm cells come from the store;
+    every record agrees byte-for-byte with the single-cell route."""
+    service, client, suite = warm_serve
+    document = client.cells(suite[0].name, [FMT, FMT2])
+    by_format = {cell["format"]: cell for cell in document["cells"]}
+    assert document["matrix"] == suite[0].name
+    assert [c["format"] for c in document["cells"]] == [FMT, FMT2]  # request order
+    assert by_format[FMT]["source"] == "store"  # prewarmed by the fixture
+    assert by_format[FMT2]["source"] == "computed"
+    assert all(cell["status"] == 200 for cell in document["cells"])
+    for format_name, cell in by_format.items():
+        raw, headers = client.cell(suite[0].name, format_name, raw=True)
+        assert json.loads(raw) == cell["record"]
+        assert headers["x-repro-source"] == "store"
+        assert cell["key"] == task_key(
+            service.config, format_name, matrix_fingerprint(suite[0])
+        )
+    # second pass: everything warm, no further solves
+    again = client.cells(suite[0].name, [FMT, FMT2])
+    assert all(cell["source"] == "store" for cell in again["cells"])
+    assert metrics.value("serve.batch_cells") == 1  # only FMT2 was cold
+
+
+def test_cells_validation_errors(warm_serve):
+    service, client, suite = warm_serve
+    cases = [
+        ({"matrix": suite[0].name}, 400),  # missing formats
+        ({"matrix": suite[0].name, "formats": []}, 400),
+        ({"matrix": suite[0].name, "formats": [FMT, FMT]}, 400),  # duplicates
+        ({"matrix": suite[0].name, "formats": ["float128"]}, 404),
+        ({"matrix": "no-such-matrix", "formats": [FMT]}, 404),
+        ({"formats": [FMT]}, 400),  # missing matrix
+    ]
+    for body, expected in cases:
+        status, _headers, data = client._request("POST", "/v1/cells", body=body)
+        assert status == expected, (body, data)
+    connection = http.client.HTTPConnection(client.host, client.port, timeout=10)
+    try:
+        connection.request("GET", "/v1/cells")
+        assert connection.getresponse().status == 405
+    finally:
+        connection.close()
+
+
+def test_cells_coalesces_with_single_cell_requests():
+    """A /v1/cell request arriving while /v1/cells is solving the same key
+    joins the batch instead of re-solving; disjoint formats still solve."""
+    suite = _suite(seed=7)
+    config = _config(restarts=2)
+    store = ResultStore(backend=DictBackend())
+    gate = threading.Event()
+    solves: list[str] = []
+
+    def gated_solve(store, tm, format_name, config):
+        assert gate.wait(60), "test gate never released"
+        solves.append(format_name)
+        return solve_cell(store, tm, format_name, config)
+
+    service = SpectralService(
+        store,
+        suite,
+        formats=[FMT, FMT2],
+        config=config,
+        pool_kind="thread",
+        solve_fn=gated_solve,
+        workers=1,
+        preload=False,
+    )
+
+    async def scenario():
+        batch = asyncio.create_task(
+            service.handle_request(_cells_request(suite[0].name, [FMT, FMT2]))
+        )
+        # let the batch become the leader for both keys, then pile joiners on
+        for _ in range(1000):
+            if service.coalescer.depth == 2:
+                break
+            await asyncio.sleep(0.01)
+        assert service.coalescer.depth == 2
+        single = asyncio.create_task(
+            service.handle_request(_cell_request(suite[0].name, FMT))
+        )
+        other_batch = asyncio.create_task(
+            service.handle_request(_cells_request(suite[0].name, [FMT, FMT2]))
+        )
+        for _ in range(1000):
+            if service.coalescer.coalesced_total >= 3:
+                break
+            await asyncio.sleep(0.01)
+        assert service.coalescer.coalesced_total == 3
+        gate.set()
+        return await asyncio.gather(batch, single, other_batch)
+
+    try:
+        responses = asyncio.run(scenario())
+    finally:
+        gate.set()
+        service.bridge.shutdown()
+
+    assert [r.status for r in responses] == [200, 200, 200]
+    assert sorted(solves) == sorted([FMT, FMT2])  # each cell solved exactly once
+    leader, single, joiner_batch = responses
+    leader_cells = {c["format"]: c for c in json.loads(leader.body)["cells"]}
+    joined_cells = {c["format"]: c for c in json.loads(joiner_batch.body)["cells"]}
+    assert all(c["source"] == "computed" for c in leader_cells.values())
+    assert all(c["source"] == "coalesced" for c in joined_cells.values())
+    assert json.loads(single.body) == leader_cells[FMT]["record"]
+    assert joined_cells[FMT]["record"] == leader_cells[FMT]["record"]
+
+
+def test_cells_saturation_returns_503_with_retry_after():
+    suite = _suite(seed=7)
+    store = ResultStore(backend=DictBackend())
+    gate = threading.Event()
+
+    def blocked_solve(store, tm, format_name, config):
+        assert gate.wait(60)
+        return solve_cell(store, tm, format_name, config)
+
+    service = SpectralService(
+        store,
+        suite,
+        formats=[FMT, FMT2],
+        config=_config(restarts=1),
+        pool_kind="thread",
+        solve_fn=blocked_solve,
+        workers=1,
+        queue_limit=0,
+        preload=False,
+    )
+
+    async def scenario():
+        # occupy the single slot with a different config's batch
+        first = asyncio.create_task(
+            service.handle_request(
+                _cells_request(suite[0].name, [FMT], config={"seed": 2})
+            )
+        )
+        for _ in range(1000):
+            if service.coalescer.depth == 1:
+                break
+            await asyncio.sleep(0.01)
+        with pytest.raises(HTTPError) as excinfo:
+            await service.handle_request(_cells_request(suite[0].name, [FMT2]))
+        assert excinfo.value.status == 503
+        assert int(excinfo.value.headers["Retry-After"]) >= 1
+        # the rejected batch must have released its coalescer keys
+        assert service.coalescer.depth == 1
+        gate.set()
+        return await first
+
+    try:
+        first = asyncio.run(scenario())
+        assert first.status == 200
+    finally:
+        gate.set()
+        service.bridge.shutdown()

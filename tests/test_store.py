@@ -65,9 +65,9 @@ def solver_calls(monkeypatch):
     calls = []
     real = store_mod.run_matrix_experiment
 
-    def wrapper(test_matrix, formats, cfg):
+    def wrapper(test_matrix, formats, cfg, **kwargs):
         calls.append((test_matrix.name, tuple(formats)))
-        return real(test_matrix, formats, cfg)
+        return real(test_matrix, formats, cfg, **kwargs)
 
     monkeypatch.setattr(store_mod, "run_matrix_experiment", wrapper)
     return calls
@@ -401,10 +401,10 @@ class TestResumableEngine:
     ):
         real = store_mod.run_matrix_experiment
 
-        def interrupt_on_second(test_matrix, formats, cfg):
+        def interrupt_on_second(test_matrix, formats, cfg, **kwargs):
             if test_matrix.name == suite[1].name:
                 raise KeyboardInterrupt
-            return real(test_matrix, formats, cfg)
+            return real(test_matrix, formats, cfg, **kwargs)
 
         monkeypatch.setattr(store_mod, "run_matrix_experiment", interrupt_on_second)
         with pytest.raises(KeyboardInterrupt):
@@ -427,10 +427,10 @@ class TestCrashedWorkers:
     def crash_second(self, suite, monkeypatch):
         real = store_mod.run_matrix_experiment
 
-        def crashing(test_matrix, formats, cfg):
+        def crashing(test_matrix, formats, cfg, **kwargs):
             if test_matrix.name == suite[1].name:
                 raise RuntimeError("injected shard crash")
-            return real(test_matrix, formats, cfg)
+            return real(test_matrix, formats, cfg, **kwargs)
 
         monkeypatch.setattr(store_mod, "run_matrix_experiment", crashing)
         return real
@@ -464,7 +464,7 @@ class TestCrashedWorkers:
         store.path_for(reference_key(config, fp)).unlink()
         real = store_mod.run_matrix_experiment
 
-        def boom(test_matrix, formats, cfg):
+        def boom(test_matrix, formats, cfg, **kwargs):
             raise RuntimeError("reference crash")
 
         monkeypatch.setattr(store_mod, "run_matrix_experiment", boom)
@@ -485,9 +485,9 @@ class TestCrashedWorkers:
         # and count what a rerun actually executes
         calls = []
 
-        def counting(test_matrix, formats, cfg):
+        def counting(test_matrix, formats, cfg, **kwargs):
             calls.append((test_matrix.name, tuple(formats)))
-            return crash_second(test_matrix, formats, cfg)
+            return crash_second(test_matrix, formats, cfg, **kwargs)
 
         monkeypatch.setattr(store_mod, "run_matrix_experiment", counting)
         plain = run_experiment(suite, FORMATS, config, store=store, workers=1)
